@@ -1,0 +1,66 @@
+"""Bench: application-level extension experiments.
+
+Two tables beyond the paper's figures, quantifying its application claims:
+
+1. **Optogenetics** (Sec. 1): power-up probability of a miniature brain
+   implant vs cortical depth and array size, on a scalp/skull/CSF/brain
+   head phantom with the array 0.5-1.5 m away. One antenna: never. The
+   full CIB array: reliable at the 1-3 cm depths optogenetics targets.
+2. **Multi-tag inventory throughput** (Sec. 3.7): tags read per second of
+   airtime with Q-adaptive slotted ALOHA at real Gen2 timings.
+"""
+
+from repro.experiments import inventory_throughput, optogenetics
+from conftest import run_once
+
+
+def test_optogenetics_brain_implant(benchmark, emit):
+    result = run_once(
+        benchmark,
+        lambda: optogenetics.run(
+            optogenetics.OptogeneticsConfig(n_trials=10)
+        ),
+    )
+    emit(result.table())
+    # One antenna across the room never wakes the implant.
+    for depth in result.depths_m:
+        assert result.probability(depth, 1) == 0.0
+    # The 10-antenna array covers typical optogenetics depths.
+    assert result.probability(0.01, 10) >= 0.8
+    assert result.probability(0.02, 10) >= 0.5
+    # Monotone in array size at every depth.
+    for depth in result.depths_m:
+        series = [result.probability(depth, n) for n in result.antenna_counts]
+        assert series == sorted(series) or series[0] <= series[-1]
+
+
+def test_wakeup_latency(benchmark, emit):
+    """Sec. 2.3 duty cycling: near-threshold sensors wake late, not never."""
+    from repro.experiments import wakeup_latency
+
+    result = run_once(
+        benchmark,
+        lambda: wakeup_latency.run(wakeup_latency.WakeupConfig()),
+    )
+    emit(result.table())
+    latencies = [row[1] for row in result.rows if row[1] is not None]
+    # Latency grows monotonically with depth among sensors that wake.
+    assert latencies == sorted(latencies)
+    # Shallow placements wake essentially instantly.
+    assert result.rows[0][1] < 0.01
+
+
+def test_inventory_throughput(benchmark, emit):
+    result = run_once(
+        benchmark,
+        lambda: inventory_throughput.run(
+            inventory_throughput.ThroughputConfig()
+        ),
+    )
+    emit(result.table())
+    rates = result.rates()
+    # Gen2-plausible read rates across the population sweep.
+    assert all(20.0 <= rate <= 1000.0 for rate in rates)
+    # Every population is eventually fully inventoried.
+    for population, _, airtime_ms, rate, _ in result.rows:
+        assert round(rate * airtime_ms / 1e3) == population

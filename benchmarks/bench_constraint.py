@@ -1,0 +1,21 @@
+"""Bench: Sec. 3.6 constraint arithmetic.
+
+Reproduces the stated numbers: the RMS frequency-offset bound of ~199 Hz
+for alpha = 0.5 and delta-t = 800 us, the published set's margin under it,
+and the first-order Eq. 8 fluctuation prediction bounding the measured
+worst case.
+"""
+
+import pytest
+
+from repro.experiments import constraint_check
+from conftest import run_once
+
+
+def test_constraint_arithmetic(benchmark, emit):
+    result = run_once(benchmark, constraint_check.run)
+    emit(result.table())
+    assert result.rms_bound_hz == pytest.approx(199.0, abs=0.5)
+    assert result.paper_rms_hz < result.rms_bound_hz
+    assert result.measured_fluctuation <= result.predicted_fluctuation
+    assert result.measured_fluctuation < 0.5

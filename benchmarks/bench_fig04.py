@@ -1,0 +1,24 @@
+"""Bench: Fig. 4 -- the threshold effect across deployment regimes.
+
+Paper panels: (a) in air near the source the diode conducts over a wide
+angle; (b) at shallow tissue depth the angle shrinks but harvesting still
+works; (c) in deep tissue even the signal peak misses the threshold and
+the conduction angle collapses to zero. Our extra row shows the paper's
+remedy: the CIB envelope peak restores conduction at the same deep spot.
+"""
+
+from repro.experiments import fig04
+from conftest import run_once
+
+
+def test_fig04_threshold_regimes(benchmark, emit):
+    result = run_once(benchmark, lambda: fig04.run(fig04.Fig04Config()))
+    emit(result.table())
+    air, shallow, deep = result.rows
+    # Voltage and conduction angle decay monotonically with depth.
+    assert air[1] > shallow[1] > deep[1]
+    assert air[2] > shallow[2] > deep[2]
+    # The deep regime is below threshold: zero conduction, zero output.
+    assert deep[2] == 0.0 and deep[4] == 0.0
+    # CIB's peak revives it.
+    assert result.cib_deep_conduction_rad > 1.0

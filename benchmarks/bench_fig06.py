@@ -1,0 +1,30 @@
+"""Bench: Fig. 6 -- frequency-selection quality CDFs.
+
+Paper series: CDFs of the peak power gain of the best and worst random
+5-frequency sets. Expected shape: the best set delivers >= 90 % of the
+optimal 25x across nearly all channel draws; the worst set falls below
+75 % of optimal over a large fraction of them.
+"""
+
+import numpy as np
+
+from repro.experiments import fig06
+from conftest import run_once
+
+
+def test_fig06_frequency_selection(benchmark, emit):
+    result = run_once(
+        benchmark, lambda: fig06.run(fig06.Fig06Config(n_random_sets=30,
+                                                       n_channel_draws=250))
+    )
+    emit(result.table())
+    # Shape assertions mirroring the paper's reading of the figure.
+    assert np.median(result.best_gains) >= 0.9 * result.optimal_gain
+    worst_fraction_below_75 = float(
+        np.mean(result.worst_gains < 0.75 * result.optimal_gain)
+    )
+    best_fraction_below_75 = float(
+        np.mean(result.best_gains < 0.75 * result.optimal_gain)
+    )
+    assert worst_fraction_below_75 > best_fraction_below_75
+    assert best_fraction_below_75 < 0.05

@@ -1,0 +1,24 @@
+"""Bench: Fig. 9 -- peak power gain vs number of antennas.
+
+Paper series: median gain with 10th/90th-percentile bars for 1-10
+antennas in the water tank; monotonic growth reaching tens of times
+(the paper reports up to 85x at 10 antennas, below the ideal N^2 = 100).
+"""
+
+from repro.experiments import fig09
+from conftest import run_once
+
+
+def test_fig09_gain_vs_antennas(benchmark, emit):
+    result = run_once(
+        benchmark, lambda: fig09.run(fig09.Fig09Config(n_trials=40))
+    )
+    emit(result.table())
+    medians = result.medians
+    assert medians[0] == 1.0 or abs(medians[0] - 1.0) < 0.05
+    # Monotonic overall growth.
+    assert medians[-1] > 40.0
+    assert all(b > 0.7 * a for a, b in zip(medians, medians[1:]))
+    # Never beats the ideal coherent bound.
+    for count, median in zip(result.antenna_counts, medians):
+        assert median <= count**2 * 1.1

@@ -1,0 +1,24 @@
+"""Bench: Fig. 10 -- gain vs depth and orientation in water.
+
+Paper series: 10-antenna CIB gain at depths 0-20 cm and orientations
+0-2 pi. Expected shape: flat (the gain is channel-blind); only absolute
+power falls with depth.
+"""
+
+from repro.experiments import fig10
+from conftest import run_once
+
+
+def test_fig10_depth_and_orientation(benchmark, emit):
+    result = run_once(
+        benchmark, lambda: fig10.run(fig10.Fig10Config(n_trials=25))
+    )
+    emit(result.depth_table())
+    emit(result.orientation_table())
+    depth_medians = [row[1] for row in result.depth_rows]
+    orientation_medians = [row[1] for row in result.orientation_rows]
+    # Flatness: spread within ~50 % across the sweep (paper: 60-100 band).
+    assert max(depth_medians) / min(depth_medians) < 1.5
+    assert max(orientation_medians) / min(orientation_medians) < 1.5
+    # The level itself is tens of times.
+    assert min(depth_medians) > 35.0

@@ -1,0 +1,28 @@
+"""Bench: Fig. 11 -- CIB vs 10-antenna baseline across media.
+
+Paper series: median gain per medium (air, water, gastric fluid,
+intestinal fluid, steak, bacon, chicken) for CIB (~80x) and the blind
+baseline (~10x, all of it from radiating 10x power). Expected shape:
+CIB roughly flat and several times above the baseline in every medium.
+"""
+
+import numpy as np
+
+from repro.experiments import fig11
+from conftest import run_once
+
+
+def test_fig11_gain_across_media(benchmark, emit):
+    result = run_once(
+        benchmark, lambda: fig11.run(fig11.Fig11Config(n_trials=40))
+    )
+    emit(result.table())
+    cib = result.cib_medians()
+    baseline = result.baseline_medians()
+    # CIB wins in every medium, by a factor of several.
+    for medium_cib, medium_baseline in zip(cib, baseline):
+        assert medium_cib > 2.5 * medium_baseline
+    # CIB's gain is medium-independent (Sec. 3.7).
+    assert max(cib) / min(cib) < 1.5
+    # Baseline sits around the N-fold power increase.
+    assert 3.0 <= float(np.median(baseline)) <= 25.0

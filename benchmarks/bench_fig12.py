@@ -1,0 +1,19 @@
+"""Bench: Fig. 12 -- CDF of CIB over the 10-antenna baseline, per location.
+
+Paper series: the per-location power ratio's CDF on a log axis. Expected
+shape: ratio > 1 in ~99 % of locations, median several-fold, and a heavy
+tail (>100x where the baseline interferes destructively).
+"""
+
+from repro.experiments import fig12
+from conftest import run_once
+
+
+def test_fig12_ratio_cdf(benchmark, emit):
+    result = run_once(
+        benchmark, lambda: fig12.run(fig12.Fig12Config(n_trials=250))
+    )
+    emit(result.table())
+    assert result.fraction_above_one >= 0.97
+    assert 3.0 <= result.median_ratio <= 15.0
+    assert result.max_ratio > 50.0

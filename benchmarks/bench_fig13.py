@@ -1,0 +1,47 @@
+"""Bench: Fig. 13 -- operating range/depth vs antennas (all four panels).
+
+Paper series: standard/miniature tag, in air (range) and water (depth),
+for 1-8 antennas. Expected shapes after calibrating the single-antenna
+standard-tag range to 5.2 m:
+
+* standard in air:  5.2 m -> tens of meters (paper: 38 m, ~7.6x);
+* miniature in air: ~0.5 m -> a few meters;
+* standard in water: 0 -> ~23 cm, logarithmic in the antenna count;
+* miniature in water: 0 -> ~11 cm.
+"""
+
+from repro.experiments import fig13
+from conftest import run_once
+
+
+def test_fig13_range_vs_antennas(benchmark, emit):
+    result = run_once(
+        benchmark,
+        lambda: fig13.run(
+            fig13.Fig13Config(antenna_counts=(1, 2, 3, 4, 5, 6, 7, 8), n_trials=7)
+        ),
+    )
+    emit(result.table())
+    standard_air = [value for _, value in result.panels[("standard", "air")]]
+    miniature_air = [value for _, value in result.panels[("miniature", "air")]]
+    standard_water = [value for _, value in result.panels[("standard", "water")]]
+    miniature_water = [value for _, value in result.panels[("miniature", "water")]]
+
+    # Calibration anchor and the headline result.
+    assert abs(standard_air[0] - 5.2) < 0.3
+    assert standard_air[-1] > 25.0
+    assert 4.0 <= result.range_gain("standard", "air") <= 10.0
+
+    # Miniature tag: ~10x shorter ranges, same relative gain.
+    assert 0.2 <= miniature_air[0] <= 1.2
+    assert miniature_air[-1] > 2.0
+
+    # Water: nothing at one antenna, paper-scale depths at eight.
+    assert standard_water[0] == 0.0 and miniature_water[0] == 0.0
+    assert 0.15 <= standard_water[-1] <= 0.35
+    assert 0.05 <= miniature_water[-1] <= 0.20
+
+    # Depth grows logarithmically: increments shrink with N.
+    late_increment = standard_water[-1] - standard_water[-2]
+    early_increment = standard_water[2] - standard_water[1]
+    assert late_increment < early_increment + 0.02

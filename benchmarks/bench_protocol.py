@@ -1,0 +1,68 @@
+"""Bench: protocol-substrate throughput.
+
+Not a paper figure, but a sanity benchmark for the Gen2 stack the link
+simulation leans on: PIE/FM0 encode-decode rates and full inventory rounds
+should be fast enough that the monte-carlo experiments are physics-bound,
+not protocol-bound.
+"""
+
+import numpy as np
+
+from repro.gen2.commands import Query
+from repro.gen2.decoder import decode_fm0_response
+from repro.gen2.fm0 import chips_to_waveform, decode_chips, encode_chips
+from repro.gen2.inventory import inventory_until_quiet
+from repro.gen2.pie import PIEDecoder, PIEEncoder
+from repro.gen2.tag_state import Gen2Tag
+
+
+def test_fm0_roundtrip_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    payloads = [tuple(int(b) for b in rng.integers(0, 2, 16)) for _ in range(100)]
+
+    def roundtrip():
+        for payload in payloads:
+            assert decode_chips(encode_chips(payload)) == payload
+
+    benchmark(roundtrip)
+
+
+def test_pie_roundtrip_throughput(benchmark):
+    encoder = PIEEncoder()
+    decoder = PIEDecoder()
+    bits = Query(q=4).to_bits()
+
+    def roundtrip():
+        decoded, _ = decoder.decode(encoder.encode(bits))
+        assert decoded == bits
+
+    benchmark(roundtrip)
+
+
+def test_correlation_decode_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    bits = tuple(int(b) for b in rng.integers(0, 2, 16))
+    waveform = chips_to_waveform(encode_chips(bits), 10)
+    noisy = waveform + rng.normal(0, 0.2, waveform.size)
+    padded = np.concatenate([rng.normal(0, 0.2, 300), noisy])
+
+    def decode():
+        result = decode_fm0_response(padded, 16, 10)
+        assert result.success
+
+    benchmark(decode)
+
+
+def test_inventory_round_throughput(benchmark):
+    def run_round():
+        rng = np.random.default_rng(3)
+        tags = []
+        for index in range(16):
+            epc = tuple(int(b) for b in rng.integers(0, 2, 96))
+            tag = Gen2Tag(epc, np.random.default_rng(1000 + index))
+            tag.power_up()
+            tags.append(tag)
+        epcs, _ = inventory_until_quiet(tags, rng, initial_q=4)
+        assert len(epcs) == 16
+
+    benchmark(run_round)

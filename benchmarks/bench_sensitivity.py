@@ -1,0 +1,29 @@
+"""Bench: sensitivity of the headline results to calibration unknowns.
+
+The reproduction's physics parameters (diode threshold 0.2-0.4 V, water
+conductivity, tag aperture efficiency) are literature-guided guesses. The
+claims that must *not* depend on them: the multiplicative air-range gain
+(the beamformer's doing) and deep-water operation with the array. The
+water depth legitimately tracks the actual medium loss -- the one
+parameter that physically owns it.
+"""
+
+from repro.experiments import sensitivity
+from conftest import run_once
+
+
+def test_sensitivity_of_headlines(benchmark, emit):
+    result = run_once(
+        benchmark, lambda: sensitivity.run(sensitivity.SensitivityConfig())
+    )
+    emit(result.table())
+    gains = result.gains()
+    # The range gain is invariant across every perturbation.
+    assert max(gains) / min(gains) < 1.2
+    assert all(5.0 <= gain <= 9.0 for gain in gains)
+    # Depth stays in a paper-compatible band and orders with water loss.
+    water_rows = [r for r in result.rows if "conductivity" in r[0]]
+    by_conductivity = sorted((r[1], r[3]) for r in water_rows)
+    depths = [depth for _, depth in by_conductivity]
+    assert depths == sorted(depths, reverse=True)
+    assert all(10.0 <= depth <= 45.0 for depth in result.depths_cm())

@@ -1,0 +1,34 @@
+"""Benchmark-harness helpers.
+
+Each bench regenerates one table or figure from the paper's evaluation and
+prints the same rows/series the paper reports. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the reproduced tables inline.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under the benchmark timer.
+
+    The experiments are monte-carlo sweeps, not microbenchmarks; one round
+    gives the wall-clock cost of regenerating the figure while keeping the
+    suite fast.
+    """
+    return benchmark.pedantic(fn, iterations=1, rounds=1)
+
+
+@pytest.fixture
+def emit():
+    """Print a reproduced table, clearly delimited, even without -s."""
+
+    def _emit(table) -> None:
+        text = table.render() if hasattr(table, "render") else str(table)
+        print("\n" + "=" * 72)
+        print(text)
+        print("=" * 72)
+
+    return _emit

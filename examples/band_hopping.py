@@ -1,0 +1,68 @@
+"""Adaptive band hopping under frequency-selective fading (Sec. 3.7).
+
+When the whole 915 MHz band fades (multipath off walls and organs), CIB
+still achieves its *relative* gain but delivers less absolute power. The
+paper proposes hopping the center carrier to a better band. This example
+builds a frequency-selective scene, surveys the 902-928 MHz channels, and
+lets the epsilon-greedy hopper find the good ones -- reusing the same
+optimized offsets at every hop.
+
+Run::
+
+    python examples/band_hopping.py
+"""
+
+import numpy as np
+
+from repro.core import AdaptiveHopper, paper_plan, static_mean_reward
+from repro.em import DelaySpreadProfile, FrequencySelectiveChannel
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    scene = FrequencySelectiveChannel(
+        DelaySpreadProfile(
+            rms_delay_spread_s=100e-9, n_taps=5, mean_tap_amplitude=0.6
+        ),
+        n_antennas=8,
+        rng=rng,
+    )
+    bands = tuple(902.75e6 + 2e6 * k for k in range(13))
+
+    print("=" * 70)
+    print("Band survey (power fading per candidate center, direct path = 1.0)")
+    print("=" * 70)
+    survey = scene.band_survey(bands)
+    for band, gain in survey.items():
+        bar = "#" * int(gain * 20)
+        print(f"  {band / 1e6:6.2f} MHz  {gain:5.2f}  {bar}")
+    print(f"  coherence bandwidth ~ "
+          f"{scene.profile.coherence_bandwidth_hz / 1e6:.1f} MHz; CIB's "
+          f"{paper_plan().max_offset_hz():.0f} Hz spread is flat within any band: "
+          f"{scene.is_flat_within(915e6, 200.0)}")
+
+    print()
+    print("=" * 70)
+    print("Policies over 100 CIB periods")
+    print("=" * 70)
+    hopper = AdaptiveHopper(
+        paper_plan(), bands_hz=bands, epsilon=0.05,
+        rng=np.random.default_rng(4),
+    )
+    hopped = hopper.run(scene.band_power_gain, n_periods=100)
+    worst = min(survey, key=survey.get)
+    center = min(bands, key=lambda b: abs(b - 915e6))
+    rows = [
+        ("static on worst band", static_mean_reward(scene.band_power_gain, worst, 100)),
+        ("static on 915 MHz", static_mean_reward(scene.band_power_gain, center, 100)),
+        ("adaptive hopping", hopped),
+        ("oracle best band", max(survey.values())),
+    ]
+    for label, value in rows:
+        print(f"  {label:22s} mean delivered-power factor {value:5.2f}")
+    print(f"  hopper settled on {hopper.best_band() / 1e6:.2f} MHz "
+          f"after probing all {len(bands)} channels")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Long-range RFID: the beyond-implants implication (Sec. 6.1.2, Fig. 13a).
+
+CIB is not implant-specific: the same blind beamforming extends the range
+of off-the-shelf passive RFIDs. The paper demonstrates powering a standard
+tag at 38 m -- 7.6x beyond its 5.2 m single-antenna range -- which matters
+for warehouse inventory and localization.
+
+This example sweeps the antenna count, then runs a full Gen2 inventory
+round over a shelf of tags at a range only CIB can reach.
+
+Run::
+
+    python examples/long_range_rfid.py
+"""
+
+import numpy as np
+
+from repro import paper_plan, standard_tag_spec
+from repro.analysis.mc import spawn_rngs
+from repro.em import AIR, WaterTankPhantom
+from repro.experiments import fig13
+from repro.gen2 import Gen2Tag, inventory_until_quiet
+from repro.reader import IvnLink
+
+
+def range_sweep() -> None:
+    print("=" * 70)
+    print("Operating range vs antenna count (standard RFID in air, Fig. 13a)")
+    print("=" * 70)
+    config = fig13.Fig13Config(antenna_counts=(1, 2, 4, 6, 8), n_trials=7)
+    eirp = fig13.calibrated_eirp_w(config)
+    print(f"  calibrated so 1 antenna reads at 5.2 m (EIRP {eirp:.1f} W/branch)")
+    plan = paper_plan()
+    spec = standard_tag_spec()
+    for n_antennas in config.antenna_counts:
+        rng_seed = 13 + n_antennas
+        reach = fig13._air_range_m(
+            plan.subset(n_antennas), spec, eirp, config, rng_seed
+        )
+        bar = "#" * int(reach)
+        print(f"  {n_antennas:2d} antennas: {reach:5.1f} m  {bar}")
+    print("  Range grows like the square root of the peak power gain.")
+
+
+def warehouse_inventory() -> None:
+    print()
+    print("=" * 70)
+    print("Gen2 inventory of a shelf of tags at 20 m (single antenna: silent)")
+    print("=" * 70)
+    distance_m = 20.0
+    tank = WaterTankPhantom(medium=AIR, standoff_m=distance_m)
+    link = IvnLink(paper_plan().subset(8), standard_tag_spec(),
+                   eirp_per_branch_w=6.0)
+    # Step 1: does CIB wake the tags at this range?
+    rng = np.random.default_rng(7)
+    powered_tags = []
+    for index in range(5):
+        channel = tank.channel(8, 0.0, 915e6, rng=rng)
+        result = link.run_trial(channel, AIR, rng)
+        epc = tuple(int(b) for b in rng.integers(0, 2, 96))
+        tag = Gen2Tag(epc, np.random.default_rng(900 + index))
+        if result.powered:
+            tag.power_up()
+            powered_tags.append(tag)
+        print(f"  tag {index}: powered={result.powered} "
+              f"(peak V_s {result.peak_input_voltage_v:.2f} V)")
+    # Step 2: standard slotted-ALOHA arbitration sorts out collisions.
+    epcs, rounds = inventory_until_quiet(
+        powered_tags, np.random.default_rng(8), initial_q=3
+    )
+    print(f"  inventoried {len(epcs)}/{len(powered_tags)} powered tags "
+          f"in {rounds} rounds of Q-adaptive slotted ALOHA")
+
+    # The single-antenna comparison at the same range.
+    single = IvnLink(paper_plan().subset(1), standard_tag_spec(),
+                     eirp_per_branch_w=6.0)
+    channel = tank.channel(1, 0.0, 915e6, rng=rng)
+    result = single.run_trial(channel, AIR, rng)
+    print(f"  single antenna at {distance_m:.0f} m: powered={result.powered} "
+          "(needs to be within ~5 m)")
+
+
+if __name__ == "__main__":
+    range_sweep()
+    warehouse_inventory()

@@ -1,0 +1,118 @@
+"""Quickstart: coherently-incoherent beamforming in five minutes.
+
+Walks the core ideas of the paper:
+
+1. why a battery-free sensor needs a *peak* (the diode threshold);
+2. how CIB's frequency-encoded carriers create that peak blindly;
+3. how much peak power a 10-antenna array delivers vs the baselines;
+4. a complete power-up + query + backscatter + decode round trip.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    BlindSameFrequencyTransmitter,
+    CIBTransmitter,
+    OracleMRTTransmitter,
+    SingleAntennaTransmitter,
+    paper_plan,
+    peak_power_gain,
+    standard_tag_spec,
+)
+from repro.core import waveform
+from repro.em import AIR, WaterTankPhantom
+from repro.harvester import conduction_angle_rad, ideal_output_voltage
+from repro.reader import IvnLink
+
+
+def section(title: str) -> None:
+    print()
+    print("=" * 70)
+    print(title)
+    print("=" * 70)
+
+
+def threshold_effect() -> None:
+    section("1. The threshold effect (Sec. 2): no peak, no power")
+    threshold_v = 0.3
+    for amplitude in (0.2, 0.35, 0.8):
+        v_dc = ideal_output_voltage(amplitude, n_stages=4, threshold_v=threshold_v)
+        angle = conduction_angle_rad(amplitude, threshold_v)
+        print(
+            f"  input {amplitude:4.2f} V -> rectifier output {v_dc:4.2f} V, "
+            f"conduction angle {angle:4.2f} rad"
+        )
+    print("  Below 0.3 V the harvester is stone dead -- deep tissue in a nutshell.")
+
+
+def cib_envelope() -> None:
+    section("2. CIB's time-varying envelope (Sec. 3)")
+    plan = paper_plan()
+    rng = np.random.default_rng(0)
+    betas = rng.uniform(0, 2 * np.pi, plan.n_antennas)  # blind channel phases
+    t = np.linspace(0, 1.0, 2000)
+    envelope = waveform.envelope(plan.offsets_array(), betas, t)
+    peak, t_peak = waveform.peak_envelope(plan.offsets_array(), betas)
+    average = waveform.average_power(plan.offsets_array(), betas)
+    print(f"  10 carriers at offsets {plan.offsets_hz} Hz")
+    print(f"  envelope peak: {peak:.1f}x a single carrier (max possible: 10)")
+    print(f"  peak occurs at t = {t_peak * 1000:.1f} ms, repeats every second")
+    print(f"  average power: {average:.1f} carriers' worth -- energy is conserved,")
+    print("  CIB just concentrates it in time so the diode threshold breaks.")
+    # A small ASCII sketch of the envelope.
+    bins = envelope[:: len(envelope) // 60]
+    scale = 30.0 / max(bins)
+    for level in (8, 6, 4, 2):
+        row = "".join("#" if value > level else " " for value in bins)
+        print(f"  {level:2d}| {row}")
+
+
+def beamforming_comparison() -> None:
+    section("3. CIB vs baselines at 10 cm depth in water (Figs. 9-12)")
+    rng = np.random.default_rng(1)
+    tank = WaterTankPhantom()
+    plan = paper_plan()
+    strategies = {
+        "single antenna (reference)": SingleAntennaTransmitter(),
+        "10-antenna blind baseline": BlindSameFrequencyTransmitter(10),
+        "10-antenna CIB (this paper)": CIBTransmitter(plan),
+        "oracle MRT (needs CSI -- infeasible)": OracleMRTTransmitter(10),
+    }
+    gains = {name: [] for name in strategies}
+    for _ in range(30):
+        channel = tank.channel(10, 0.10, plan.center_frequency_hz, rng=rng)
+        realization = channel.realize(rng)
+        for name, strategy in strategies.items():
+            gains[name].append(
+                peak_power_gain(strategy, realization, rng, duration_s=2.0)
+            )
+    for name, values in gains.items():
+        print(f"  {name:38s} median peak power gain {np.median(values):6.1f}x")
+
+
+def full_link() -> None:
+    section("4. A complete IVN interaction (power + query + backscatter)")
+    rng = np.random.default_rng(2)
+    tank = WaterTankPhantom(medium=AIR, standoff_m=5.0)
+    link = IvnLink(paper_plan(), standard_tag_spec())
+    channel = tank.channel(10, 0.0, 915e6, rng=rng)
+    result = link.run_trial(channel, AIR, rng)
+    print(f"  sensor powered:        {result.powered}")
+    print(f"  peak input voltage:    {result.peak_input_voltage_v:.2f} V")
+    print(f"  query decoded:         {result.query_decoded} "
+          f"(envelope fluctuation {result.query_fluctuation:.3f})")
+    print(f"  RN16 backscattered:    {result.reply_sent}")
+    print(f"  reader correlation:    {result.correlation:.3f} (success > 0.8)")
+    print(f"  end-to-end success:    {result.success}")
+
+
+if __name__ == "__main__":
+    threshold_effect()
+    cib_envelope()
+    beamforming_comparison()
+    full_link()
+    print()

@@ -1,0 +1,61 @@
+"""The in-vivo experiment, end to end (Sec. 6.2 + Fig. 15).
+
+Reproduces the swine-trial protocol on the layered body phantom: gastric
+and subcutaneous placements of the standard and miniature tags, repeated
+with re-randomized placement/orientation/breathing, decoded with the
+out-of-band reader's 0.8-correlation rule. Finishes with a Fig. 15-style
+ASCII rendering of a decoded gastric waveform.
+
+Run::
+
+    python examples/swine_trial.py
+"""
+
+import numpy as np
+
+from repro.experiments import invivo
+
+
+def render_waveform(waveform: np.ndarray, width: int = 68, height: int = 9) -> None:
+    """Crude terminal plot of the averaged reader capture."""
+    data = waveform[: min(waveform.size, 460)]
+    step = max(1, data.size // width)
+    bins = data[::step][:width]
+    top = float(np.max(np.abs(bins))) or 1.0
+    levels = np.round((bins / top) * (height // 2)).astype(int)
+    for row in range(height // 2, -height // 2 - 1, -1):
+        line = "".join(
+            "#" if (0 <= row <= level or level <= row <= 0) and row != 0
+            else ("-" if row == 0 else " ")
+            for level in levels
+        )
+        print(f"   {line}")
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Sec. 6.2 -- simulated Yorkshire pig, 8-antenna CIB, 30-80 cm lateral")
+    print("=" * 70)
+    result = invivo.run(invivo.InVivoConfig(n_trials=6))
+    print(result.table().render())
+    print()
+    print("Per-trial detail (gastric + standard tag):")
+    for index, trial in enumerate(result.trials[("gastric", "standard")]):
+        outcome = "SUCCESS" if trial.success else "no link"
+        print(
+            f"  trial {index + 1}: peak V_s {trial.peak_input_voltage_v:5.2f} V, "
+            f"correlation {trial.correlation:5.2f} -> {outcome}"
+        )
+    print()
+    print("Fig. 15 -- decoded time-domain response from the stomach:")
+    trace = invivo.capture_trace(placement="gastric", tag="standard")
+    if trace is None:
+        print("  (no placement decoded in this run; try another seed)")
+        return
+    render_waveform(trace.waveform)
+    print(f"   decoded RN16: {''.join(str(b) for b in trace.bits)} "
+          f"(correlation {trace.correlation:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Continuous vital-signs monitoring: the paper's application vision.
+
+Section 1 motivates IVN with in-vivo sensors that monitor "internal human
+vital signs"; Section 3.6 designs for "a sensor response every T seconds";
+Section 3.7 scales to multiple sensors via Select addressing. This example
+puts those pieces together:
+
+* two implanted battery-free sensors (gastric temperature + subcutaneous
+  heart-rate proxy) share one CIB beamformer;
+* each CIB period, the round-robin scheduler addresses one sensor;
+* after the inventory handshake, the Gen2 access layer (Req_RN + Read)
+  pulls measurement words from the sensor's USER memory;
+* the exposure report confirms the Sec. 7 duty-cycling claim while the
+  monitor runs.
+
+Run::
+
+    python examples/vital_signs_monitor.py
+"""
+
+import numpy as np
+
+from repro import MultiSensorScheduler, SensorDescriptor, paper_plan, standard_tag_spec
+from repro.core import waveform
+from repro.em import FAT, GASTRIC_CONTENT, MUSCLE, SwinePhantom, exposure_report
+from repro.gen2 import AccessEngine, Ack, Query, Read, ReqRN
+from repro.gen2.tag_state import Gen2Tag
+from repro.reader import IvnLink
+
+EIRP_W = 6.0
+
+
+def build_sensors():
+    """Two implanted sensors with distinct EPCs and live measurements."""
+    rng = np.random.default_rng(42)
+    sensors = {}
+    for label, placement, medium in (
+        ("gastric-temp", "gastric", GASTRIC_CONTENT),
+        ("subcut-hr", "subcutaneous", FAT),
+    ):
+        epc = tuple(int(b) for b in rng.integers(0, 2, 96))
+        tag = Gen2Tag(epc, np.random.default_rng(hash(label) % 2**31))
+        sensors[label] = {
+            "placement": placement,
+            "medium": medium,
+            "tag": tag,
+            "engine": AccessEngine(tag),
+            "epc": epc,
+        }
+    return sensors
+
+
+def measure(label: str, period: int) -> int:
+    """Synthesize a plausible physiological measurement word."""
+    if label == "gastric-temp":
+        return 370 + (period % 3)  # 37.0-37.2 C, x10
+    return 68 + (period * 7) % 9  # 68-76 bpm
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Multi-sensor vital-signs monitoring over one CIB beamformer")
+    print("=" * 70)
+    sensors = build_sensors()
+    descriptors = [
+        SensorDescriptor(sensor_id=info["epc"][:16], label=label)
+        for label, info in sensors.items()
+    ]
+    scheduler = MultiSensorScheduler(paper_plan().subset(8), descriptors)
+    print(f"  Select elongates each query to "
+          f"{scheduler.effective_query_duration_s() * 1e6:.0f} us; plan still "
+          f"fits the flatness budget: {scheduler.plan_is_compatible()}")
+    print(f"  per-sensor response period: "
+          f"{scheduler.per_sensor_response_period_s():.0f} s")
+
+    phantom = SwinePhantom()
+    rng = np.random.default_rng(7)
+    print()
+    for period, descriptor in scheduler.schedule(n_periods=6):
+        info = sensors[descriptor.label]
+        link = IvnLink(
+            paper_plan().subset(8), standard_tag_spec(), eirp_per_branch_w=EIRP_W
+        )
+        channel = phantom.channel(info["placement"], 8, 915e6, rng)
+        result = link.run_trial(channel, info["medium"], rng)
+        if not result.powered:
+            print(f"  t={period}s  {descriptor.label:13s} -> no power "
+                  f"(V_s {result.peak_input_voltage_v:.2f} V); retry next round")
+            continue
+        # The link powered and inventoried the sensor; now pull data via
+        # the access layer against the sensor's own FSM.
+        tag, engine = info["tag"], info["engine"]
+        tag.power_up()
+        engine.store_measurement(0, measure(descriptor.label, period))
+        rn16 = tag.handle_query(Query(q=0)).bits
+        tag.handle_ack(Ack(rn16=rn16))
+        engine.handle_req_rn(ReqRN(rn16=rn16))
+        reply = engine.handle_read(
+            Read(membank="USER", word_pointer=0, word_count=1,
+                 handle=engine.handle)
+        )
+        value = reply.payload_words()[0]
+        unit = "x0.1C" if descriptor.label == "gastric-temp" else "bpm"
+        print(f"  t={period}s  {descriptor.label:13s} -> {value} {unit} "
+              f"(link correlation {result.correlation:.2f})")
+        tag.power_down()  # the peak passes; the sensor browns out
+
+    print()
+    print("Exposure while monitoring (Sec. 7):")
+    betas = rng.uniform(0, 2 * np.pi, 8)
+    t = np.linspace(0, 1, 4096)
+    envelope = 3.0 * waveform.envelope(
+        paper_plan().subset(8).offsets_array(), betas, t
+    )
+    report = exposure_report(envelope, MUSCLE, eirp_per_branch_w=4.0)
+    print(f"  {report.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Calibration: pin the model to the paper's single-antenna baselines.
+
+The reproduction does not try to match the authors' absolute watts and
+meters; instead, each range experiment calibrates one scalar -- the
+per-branch transmit power -- so that the *single-antenna* configuration
+reproduces the paper's measured baseline (5.2 m for the standard tag in
+air). Every multi-antenna result is then a prediction of the model, not a
+fit.
+"""
+
+from typing import Callable
+
+from repro.errors import CalibrationError
+
+
+def bisect_increasing(
+    predicate: Callable[[float], bool],
+    low: float,
+    high: float,
+    tolerance: float,
+    max_iterations: int = 60,
+) -> float:
+    """Largest x in [low, high] where a decreasing predicate still holds.
+
+    ``predicate(x)`` must be True at ``low`` (or the search fails) and is
+    expected to flip to False as x grows (e.g. "tag powers up at range x").
+
+    Returns:
+        The boundary value (within ``tolerance``); ``low`` when even the
+        smallest probe fails would raise instead.
+
+    Raises:
+        CalibrationError: when ``predicate(low)`` is already False.
+    """
+    if low >= high:
+        raise ValueError(f"need low < high, got [{low}, {high}]")
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    if not predicate(low):
+        raise CalibrationError(
+            f"predicate already fails at the lower bound {low}"
+        )
+    if predicate(high):
+        return high
+    lo, hi = low, high
+    for _ in range(max_iterations):
+        if hi - lo <= tolerance:
+            break
+        mid = 0.5 * (lo + hi)
+        if predicate(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def calibrate_scalar(
+    objective: Callable[[float], float],
+    target: float,
+    low: float,
+    high: float,
+    tolerance: float = 1e-3,
+    max_iterations: int = 60,
+) -> float:
+    """Solve ``objective(x) = target`` for an increasing objective.
+
+    Used to find the transmit power whose single-antenna range equals the
+    paper's measured baseline.
+
+    Raises:
+        CalibrationError: when the target is not bracketed.
+    """
+    if low >= high:
+        raise ValueError(f"need low < high, got [{low}, {high}]")
+    f_low = objective(low) - target
+    f_high = objective(high) - target
+    if f_low > 0 or f_high < 0:
+        raise CalibrationError(
+            f"target {target} not bracketed: f({low})={f_low + target}, "
+            f"f({high})={f_high + target}"
+        )
+    lo, hi = low, high
+    for _ in range(max_iterations):
+        if hi - lo <= tolerance:
+            break
+        mid = 0.5 * (lo + hi)
+        if objective(mid) - target <= 0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

@@ -1,0 +1,86 @@
+"""Descriptive statistics used throughout the evaluation.
+
+The paper reports medians with 10th/90th-percentile error bars (Figs. 9-11)
+and empirical CDFs (Figs. 6 and 12); these helpers compute exactly those
+summaries.
+"""
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PercentileSummary:
+    """Median with 10th/90th percentile spread, as plotted in the paper."""
+
+    median: float
+    p10: float
+    p90: float
+    n_samples: int
+
+    def as_row(self) -> Tuple[float, float, float]:
+        """Return ``(p10, median, p90)`` for tabular output."""
+        return (self.p10, self.median, self.p90)
+
+
+def percentile_summary(samples: Sequence[float]) -> PercentileSummary:
+    """Summarize ``samples`` the way the paper's error bars do.
+
+    Raises:
+        ValueError: if ``samples`` is empty.
+    """
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot summarize an empty sample set")
+    p10, median, p90 = np.percentile(data, [10.0, 50.0, 90.0])
+    return PercentileSummary(
+        median=float(median), p10=float(p10), p90=float(p90), n_samples=data.size
+    )
+
+
+def empirical_cdf(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_fraction)`` for CDF plots.
+
+    The returned fractions are ``k / n`` for the k-th smallest value, i.e.
+    the right-continuous empirical distribution function evaluated at each
+    sample.
+    """
+    data = np.sort(np.asarray(samples, dtype=float))
+    if data.size == 0:
+        raise ValueError("cannot build a CDF from an empty sample set")
+    fractions = np.arange(1, data.size + 1, dtype=float) / data.size
+    return data, fractions
+
+
+def cdf_at(samples: Sequence[float], value: float) -> float:
+    """Fraction of ``samples`` that are <= ``value``."""
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot evaluate a CDF with no samples")
+    return float(np.mean(data <= value))
+
+
+def to_db(ratio: float) -> float:
+    """Convert a power ratio to decibels."""
+    if ratio <= 0:
+        raise ValueError(f"power ratio must be positive, got {ratio}")
+    return 10.0 * float(np.log10(ratio))
+
+
+def from_db(db: float) -> float:
+    """Convert decibels to a power ratio."""
+    return float(10.0 ** (db / 10.0))
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert a power level in dBm to watts."""
+    return 1e-3 * from_db(dbm)
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert a power level in watts to dBm."""
+    if watts <= 0:
+        raise ValueError(f"power must be positive, got {watts}")
+    return to_db(watts / 1e-3)

@@ -1,0 +1,120 @@
+"""Physical constants and paper-level parameters for the IVN reproduction.
+
+All values that the paper states explicitly (carrier frequencies, the
+published frequency-offset set, query timing, correlation thresholds) live
+here so that experiments, tests, and benchmarks share a single source of
+truth.
+"""
+
+import math
+
+# ---------------------------------------------------------------------------
+# Physical constants (SI units).
+# ---------------------------------------------------------------------------
+
+SPEED_OF_LIGHT = 299_792_458.0
+"""Speed of light in vacuum (m/s)."""
+
+VACUUM_PERMITTIVITY = 8.854_187_8128e-12
+"""Vacuum permittivity epsilon_0 (F/m)."""
+
+VACUUM_PERMEABILITY = 4.0e-7 * math.pi
+"""Vacuum permeability mu_0 (H/m)."""
+
+FREE_SPACE_IMPEDANCE = math.sqrt(VACUUM_PERMEABILITY / VACUUM_PERMITTIVITY)
+"""Wave impedance of free space, approximately 376.73 ohms."""
+
+BOLTZMANN_CONSTANT = 1.380_649e-23
+"""Boltzmann constant (J/K)."""
+
+ROOM_TEMPERATURE_K = 290.0
+"""Standard noise reference temperature (K)."""
+
+# ---------------------------------------------------------------------------
+# IVN system parameters (Section 5 of the paper).
+# ---------------------------------------------------------------------------
+
+CIB_CENTER_FREQUENCY_HZ = 915e6
+"""Center carrier of the CIB beamformer (915 MHz, UHF RFID band)."""
+
+READER_CARRIER_FREQUENCY_HZ = 880e6
+"""Carrier of the out-of-band reader (Section 4)."""
+
+PAPER_DELTA_F_HZ = (0.0, 7.0, 20.0, 49.0, 68.0, 73.0, 90.0, 113.0, 121.0, 137.0)
+"""The published 10-antenna frequency-offset set (Section 5)."""
+
+CIB_PERIOD_S = 1.0
+"""Cyclic-operation period T: the envelope repeats every second (Section 3.6)."""
+
+QUERY_DURATION_S = 800e-6
+"""Duration of a typical RFID reader query command, delta-t in Eq. 9."""
+
+FLATNESS_ALPHA = 0.5
+"""Maximum tolerable envelope fluctuation during a query (Eq. 7)."""
+
+PAPER_RMS_DELTA_F_BOUND_HZ = 199.0
+"""The paper's stated RMS frequency-offset bound for the defaults above."""
+
+# ---------------------------------------------------------------------------
+# Hardware parameters (Section 5).
+# ---------------------------------------------------------------------------
+
+TX_ANTENNA_GAIN_DBI = 7.0
+"""MT-242025 RHCP RFID antenna gain."""
+
+PA_P1DB_DBM = 30.0
+"""1-dB compression point of the HMC453QS16 power amplifier."""
+
+PA_GAIN_DB = 20.0
+"""Small-signal gain assumed for the power amplifier chain."""
+
+REFERENCE_CLOCK_HZ = 10e6
+"""Octoclock shared reference frequency."""
+
+DEFAULT_SAMPLE_RATE_HZ = 1e6
+"""Default complex baseband sample rate for link-level simulation."""
+
+# ---------------------------------------------------------------------------
+# Energy-harvester parameters (Section 2).
+# ---------------------------------------------------------------------------
+
+DIODE_THRESHOLD_V = 0.3
+"""Default rectifier diode threshold; standard IC process is 0.2-0.4 V."""
+
+IC_THRESHOLD_RANGE_V = (0.2, 0.4)
+"""Threshold-voltage range cited for standard integrated circuits."""
+
+DEFAULT_RECTIFIER_STAGES = 4
+"""Default number of voltage-multiplier stages."""
+
+# ---------------------------------------------------------------------------
+# Gen2 / decoding parameters (Sections 5 and 6.2).
+# ---------------------------------------------------------------------------
+
+PAPER_PREAMBLE_BITS = (1, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 1)
+"""The 12-bit FM0 preamble '110100100011' correlated against in Section 6.2."""
+
+PREAMBLE_CORRELATION_THRESHOLD = 0.8
+"""Communication is declared successful above this correlation (Section 6.2)."""
+
+DEFAULT_BACKSCATTER_LINK_FREQUENCY_HZ = 40e3
+"""Default tag backscatter-link frequency (BLF)."""
+
+READER_AVERAGING_WINDOW_S = 1.0
+"""The out-of-band reader averages responses over 1-second CIB periods."""
+
+# ---------------------------------------------------------------------------
+# Paper evaluation geometry (Section 6).
+# ---------------------------------------------------------------------------
+
+TANK_STANDOFF_POWER_GAIN_M = 0.5
+"""Beamformer-to-container distance in the power-gain experiments (6.1.1a)."""
+
+TANK_STANDOFF_RANGE_M = 0.9
+"""Beamformer-to-tank distance in the range experiments (6.1.2)."""
+
+SINGLE_ANTENNA_RFID_RANGE_M = 5.2
+"""Measured single-antenna range for the standard tag in air (Fig. 13a)."""
+
+PAPER_MAX_RANGE_8_ANTENNAS_M = 38.0
+"""Measured 8-antenna CIB range for the standard tag in air (Fig. 13a)."""

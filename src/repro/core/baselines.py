@@ -1,0 +1,298 @@
+"""Transmitter strategies: CIB and the baselines it is evaluated against.
+
+Every strategy consumes a :class:`~repro.em.channel.ChannelRealization`
+(the per-antenna complex gains it cannot see) and reports the envelope it
+produces at the sensor. The paper's comparisons map to:
+
+* :class:`SingleAntennaTransmitter` -- the 1-antenna reference all power
+  gains are normalized to (Figs. 9-11).
+* :class:`BlindSameFrequencyTransmitter` -- the "10-antenna transmitter"
+  baseline: same carrier from every antenna, unknown random phases. Its
+  median gain is N (all of it from radiating N units of power).
+* :class:`BeamsteeringTransmitter` -- classic coherent beamforming that
+  precodes for assumed free-space geometry; footnote 5's comparison.
+* :class:`OracleMRTTransmitter` -- maximum-ratio transmission with perfect
+  channel knowledge; an infeasible upper bound for battery-free sensors.
+* :class:`CIBTransmitter` -- the paper's contribution.
+
+Power accounting: with ``power_mode="per_antenna"`` each antenna radiates
+unit amplitude (the paper's default, peak power gain up to N^2); with
+``"total"`` amplitudes are scaled by 1/sqrt(N) so the array radiates the
+same total power as one antenna (Sec. 3.4's N-times-gain claim).
+"""
+
+import math
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.core.plan import CarrierPlan
+from repro.core import waveform
+from repro.em.channel import ChannelRealization
+from repro.errors import ConfigurationError
+
+POWER_MODES = ("per_antenna", "total")
+
+
+def _power_scale(power_mode: str, n_antennas: int) -> float:
+    if power_mode not in POWER_MODES:
+        raise ConfigurationError(
+            f"power_mode must be one of {POWER_MODES}, got {power_mode!r}"
+        )
+    if power_mode == "per_antenna":
+        return 1.0
+    return 1.0 / math.sqrt(n_antennas)
+
+
+class TransmitterStrategy(ABC):
+    """Common interface: the envelope a strategy produces at the sensor."""
+
+    @property
+    @abstractmethod
+    def n_antennas(self) -> int:
+        """Number of transmit antennas the strategy drives."""
+
+    @abstractmethod
+    def received_envelope(
+        self,
+        realization: ChannelRealization,
+        t: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Envelope magnitude over time samples ``t`` (unit TX amplitude)."""
+
+    def peak_amplitude(
+        self,
+        realization: ChannelRealization,
+        rng: np.random.Generator,
+        duration_s: float = 1.0,
+        oversample: int = waveform.DEFAULT_OVERSAMPLE,
+    ) -> float:
+        """Peak envelope over one period (the quantity of Sec. 6.1.1)."""
+        t = self._time_grid(duration_s, oversample)
+        return float(np.max(self.received_envelope(realization, t, rng)))
+
+    def peak_power(
+        self,
+        realization: ChannelRealization,
+        rng: np.random.Generator,
+        duration_s: float = 1.0,
+        oversample: int = waveform.DEFAULT_OVERSAMPLE,
+    ) -> float:
+        """Peak received power (amplitude squared)."""
+        return self.peak_amplitude(realization, rng, duration_s, oversample) ** 2
+
+    def _time_grid(self, duration_s: float, oversample: int) -> np.ndarray:
+        return np.linspace(0.0, duration_s, waveform.MIN_TIME_SAMPLES, endpoint=False)
+
+
+class SingleAntennaTransmitter(TransmitterStrategy):
+    """One antenna, one carrier: the normalization reference.
+
+    By default the best-placed antenna (largest channel gain) transmits,
+    making every reported beamforming gain conservative; pass ``index`` to
+    pin a specific element instead.
+    """
+
+    def __init__(self, index: Optional[int] = None):
+        self._index = index
+
+    @property
+    def n_antennas(self) -> int:
+        return 1
+
+    def received_envelope(
+        self,
+        realization: ChannelRealization,
+        t: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        magnitudes = np.abs(realization.gains)
+        if self._index is None:
+            amplitude = float(np.max(magnitudes))
+        else:
+            amplitude = float(magnitudes[self._index])
+        return np.full(np.asarray(t).shape, amplitude)
+
+
+class BlindSameFrequencyTransmitter(TransmitterStrategy):
+    """N antennas, nominally identical carrier, unknown phases.
+
+    This is the paper's "10-antenna transmitter" baseline. Without channel
+    knowledge the phases at the sensor are uniform random; the expected
+    received power is ``sum |h_i|^2``, i.e. all the gain over one antenna
+    comes from radiating N-fold power. Free-running PLLs cannot generate
+    *exactly* the same frequency (the reason Sec. 5 soft-codes CIB's
+    offsets), so a small residual offset per antenna makes the baseline
+    envelope drift slowly across a capture -- without it, measured peaks
+    would sit at the instantaneous Rayleigh median instead of the
+    paper's ~N-times figure.
+    """
+
+    def __init__(
+        self,
+        n_antennas: int,
+        power_mode: str = "per_antenna",
+        residual_offset_std_hz: float = 0.05,
+    ):
+        if n_antennas < 1:
+            raise ConfigurationError(f"need >= 1 antenna, got {n_antennas}")
+        if residual_offset_std_hz < 0:
+            raise ConfigurationError(
+                f"residual offset std must be >= 0, got {residual_offset_std_hz}"
+            )
+        self._n_antennas = int(n_antennas)
+        self._scale = _power_scale(power_mode, n_antennas)
+        self._residual_std = float(residual_offset_std_hz)
+
+    @property
+    def n_antennas(self) -> int:
+        return self._n_antennas
+
+    def received_envelope(
+        self,
+        realization: ChannelRealization,
+        t: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        gains = realization.gains[: self._n_antennas]
+        phases = rng.uniform(0.0, 2.0 * math.pi, size=gains.size)
+        residual = (
+            rng.normal(0.0, self._residual_std, size=gains.size)
+            if self._residual_std > 0
+            else np.zeros(gains.size)
+        )
+        t = np.asarray(t, dtype=float)
+        phase = 2.0 * np.pi * residual[:, None] * t[None, :] + phases[:, None]
+        combined = np.sum(
+            gains[:, None] * self._scale * np.exp(1j * phase), axis=0
+        )
+        return np.abs(combined)
+
+
+class BeamsteeringTransmitter(TransmitterStrategy):
+    """Coherent beamforming that trusts an assumed phase model.
+
+    The transmitter conjugates ``assumed_phases`` (e.g. the free-space
+    geometric phases). When the real channel matches the assumption (air,
+    line-of-sight) the carriers align; through unknown tissue the actual
+    phases decorrelate from the assumption and the gain collapses to the
+    blind baseline -- exactly footnote 5's observation.
+    """
+
+    def __init__(self, assumed_phases: np.ndarray, power_mode: str = "per_antenna"):
+        self._assumed = np.asarray(assumed_phases, dtype=float)
+        if self._assumed.ndim != 1 or self._assumed.size == 0:
+            raise ConfigurationError("assumed_phases must be a non-empty 1-D array")
+        self._scale = _power_scale(power_mode, self._assumed.size)
+
+    @property
+    def n_antennas(self) -> int:
+        return int(self._assumed.size)
+
+    def received_envelope(
+        self,
+        realization: ChannelRealization,
+        t: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        gains = realization.gains[: self.n_antennas]
+        precode = np.exp(-1j * self._assumed)
+        combined = np.abs(np.sum(gains * precode * self._scale))
+        return np.full(np.asarray(t).shape, float(combined))
+
+
+class OracleMRTTransmitter(TransmitterStrategy):
+    """Maximum-ratio transmission with perfect channel state information.
+
+    Infeasible for battery-free sensors (the channel cannot be estimated
+    before power-up) but a useful upper bound: its envelope is the
+    amplitude sum ``sum |h_i|`` at every instant.
+    """
+
+    def __init__(self, n_antennas: int, power_mode: str = "per_antenna"):
+        if n_antennas < 1:
+            raise ConfigurationError(f"need >= 1 antenna, got {n_antennas}")
+        self._n_antennas = int(n_antennas)
+        self._scale = _power_scale(power_mode, n_antennas)
+
+    @property
+    def n_antennas(self) -> int:
+        return self._n_antennas
+
+    def received_envelope(
+        self,
+        realization: ChannelRealization,
+        t: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        gains = realization.gains[: self._n_antennas]
+        combined = float(np.sum(np.abs(gains)) * self._scale)
+        return np.full(np.asarray(t).shape, combined)
+
+
+class CIBTransmitter(TransmitterStrategy):
+    """Coherently-incoherent beamforming (the paper's contribution).
+
+    Each antenna transmits at its plan offset with a free-running
+    oscillator phase; the sensor sees a time-varying envelope whose peak
+    approaches ``sum |h_i|`` once per period.
+    """
+
+    def __init__(self, plan: CarrierPlan, power_mode: str = "per_antenna"):
+        self.plan = plan
+        self._scale = _power_scale(power_mode, plan.n_antennas)
+
+    @property
+    def n_antennas(self) -> int:
+        return self.plan.n_antennas
+
+    def received_envelope(
+        self,
+        realization: ChannelRealization,
+        t: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        gains = realization.gains[: self.n_antennas]
+        oscillator_phases = rng.uniform(0.0, 2.0 * math.pi, size=gains.size)
+        betas = oscillator_phases + np.angle(gains)
+        amplitudes = (
+            np.abs(gains) * self.plan.amplitudes_array()[: gains.size] * self._scale
+        )
+        return waveform.envelope(
+            self.plan.offsets_array()[: gains.size], betas, np.asarray(t), amplitudes
+        )
+
+    def peak_amplitude(
+        self,
+        realization: ChannelRealization,
+        rng: np.random.Generator,
+        duration_s: float = 1.0,
+        oversample: int = waveform.DEFAULT_OVERSAMPLE,
+    ) -> float:
+        t = waveform.time_grid(
+            self.plan.offsets_array()[: self.n_antennas], duration_s, oversample
+        )
+        return float(np.max(self.received_envelope(realization, t, rng)))
+
+
+def peak_power_gain(
+    strategy: TransmitterStrategy,
+    realization: ChannelRealization,
+    rng: np.random.Generator,
+    duration_s: float = 1.0,
+    reference: Optional[TransmitterStrategy] = None,
+) -> float:
+    """Peak power of ``strategy`` relative to a single-antenna reference.
+
+    This matches the Sec. 6.1.1 measurement: the square of the ratio of
+    peak amplitudes with and without the beamformer, at the same location.
+    """
+    if reference is None:
+        reference = SingleAntennaTransmitter()
+    peak = strategy.peak_amplitude(realization, rng, duration_s)
+    base = reference.peak_amplitude(realization, rng, duration_s)
+    if base == 0:
+        raise ValueError("reference transmitter produced a zero peak")
+    return (peak / base) ** 2

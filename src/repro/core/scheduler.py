@@ -1,0 +1,228 @@
+"""Power-delivery scheduling (Section 3.7).
+
+Two pieces:
+
+* :class:`DutyCycleScheduler` -- CIB intrinsically duty-cycles energy: the
+  envelope peak visits the sensor once per period. The scheduler tracks
+  when queries should be issued so they ride the peak, and enforces
+  regulatory duty limits.
+* :class:`TwoStageController` -- the paper's proposed extension: a
+  *discovery* stage optimizes for peak power (to find and wake the sensor
+  under unknown attenuation), then a *steady* stage reshapes the plan to
+  maximize the conduction angle once the attenuation is known.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import waveform
+from repro.core.constraints import FlatnessConstraint
+from repro.core.plan import CarrierPlan
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class QueryWindow:
+    """One scheduled query: start time and duration, placed at a peak."""
+
+    start_s: float
+    duration_s: float
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+class DutyCycleScheduler:
+    """Places queries at the envelope peaks, one per CIB period.
+
+    Health-sensing applications want a sensor response every T seconds
+    (Sec. 3.6, cyclic operation); the scheduler finds the peak instant
+    within a period from the (known) transmit-side phases and repeats it.
+    """
+
+    def __init__(
+        self,
+        plan: CarrierPlan,
+        period_s: float = 1.0,
+        query_duration_s: float = 800e-6,
+    ):
+        if period_s <= 0:
+            raise ConfigurationError(f"period must be positive, got {period_s}")
+        if not 0 < query_duration_s < period_s:
+            raise ConfigurationError(
+                "query duration must be positive and shorter than the period"
+            )
+        if not plan.is_cyclic(period_s):
+            raise ConfigurationError(
+                "plan offsets do not repeat over the requested period"
+            )
+        self.plan = plan
+        self.period_s = float(period_s)
+        self.query_duration_s = float(query_duration_s)
+
+    def peak_time(self, betas: np.ndarray) -> float:
+        """Instant of the envelope peak within one period, given phases."""
+        peak_value, t_peak = waveform.peak_envelope(
+            self.plan.offsets_array(), np.asarray(betas, float), self.period_s,
+            amplitudes=self.plan.amplitudes_array(),
+        )
+        del peak_value
+        return t_peak
+
+    def schedule(self, betas: np.ndarray, n_periods: int) -> List[QueryWindow]:
+        """Query windows centered on the peak of each of ``n_periods``."""
+        if n_periods <= 0:
+            raise ValueError(f"n_periods must be positive, got {n_periods}")
+        t_peak = self.peak_time(betas)
+        half = self.query_duration_s / 2.0
+        windows = []
+        for index in range(n_periods):
+            start = index * self.period_s + max(0.0, t_peak - half)
+            windows.append(QueryWindow(start, self.query_duration_s))
+        return windows
+
+    def duty_fraction(self, betas: np.ndarray, threshold: float) -> float:
+        """Fraction of a period the envelope stays above ``threshold``."""
+        return waveform.conduction_fraction(
+            self.plan.offsets_array(),
+            np.asarray(betas, float),
+            threshold,
+            self.period_s,
+            amplitudes=self.plan.amplitudes_array(),
+        )
+
+
+class TwoStageController:
+    """Discovery (peak power) then steady state (conduction angle).
+
+    Sec. 3.7: maximizing conduction angle up front risks never waking the
+    sensor if attenuation is underestimated. The controller therefore
+    starts from a peak-optimized plan; once the sensor responds it knows
+    the link margin and can trade peak for conduction angle by shrinking
+    the offset spread (a slower envelope spends more time near its peak).
+    """
+
+    def __init__(
+        self,
+        discovery_plan: CarrierPlan,
+        constraint: Optional[FlatnessConstraint] = None,
+    ):
+        self.discovery_plan = discovery_plan
+        self.constraint = (
+            constraint if constraint is not None else FlatnessConstraint()
+        )
+        self._stage = "discovery"
+        self._margin: Optional[float] = None
+        self._steady_cache: Optional[Tuple[float, CarrierPlan]] = None
+
+    @property
+    def stage(self) -> str:
+        """Current stage: ``"discovery"`` or ``"steady"``."""
+        return self._stage
+
+    @property
+    def active_plan(self) -> CarrierPlan:
+        if self._stage == "discovery" or self._margin is None:
+            return self.discovery_plan
+        return self.steady_plan(self._margin)
+
+    def observe_response(self, peak_amplitude: float, threshold: float) -> bool:
+        """Feed back a sensor response; switch stages when margin is known.
+
+        Args:
+            peak_amplitude: Envelope peak measured at (or inferred for) the
+                sensor during discovery.
+            threshold: The sensor's power-up threshold in the same units.
+
+        Returns:
+            True when the controller transitioned to the steady stage.
+        """
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if peak_amplitude < threshold:
+            # Sensor still unreachable; stay in discovery.
+            return False
+        self._margin = peak_amplitude / threshold
+        self._stage = "steady"
+        return True
+
+    def steady_plan(self, margin: float) -> CarrierPlan:
+        """Conduction-angle-oriented plan for a known link margin.
+
+        With an M-times amplitude margin, the sensor only needs the
+        envelope to stay above ``N / M`` rather than near the peak ``N``.
+        The steady stage therefore re-runs the frequency search with the
+        Section 3.7 objective -- expected fraction of the period above the
+        required level -- instead of the expected peak. (Note that simply
+        scaling all offsets down does *not* help: a uniform compression
+        stretches the envelope in time without changing the fraction of
+        time spent above any level.)
+        """
+        if margin < 1.0:
+            raise ValueError(
+                f"steady stage requires margin >= 1, got {margin}"
+            )
+        if self._steady_cache is not None and self._steady_cache[0] == margin:
+            return self._steady_cache[1]
+        from repro.core.optimizer import FrequencyOptimizer
+
+        optimizer = FrequencyOptimizer(
+            self.discovery_plan.n_antennas,
+            constraint=self.constraint,
+            center_frequency_hz=self.discovery_plan.center_frequency_hz,
+            n_draws=32,
+            seed=0,
+        )
+        threshold = self.discovery_plan.n_antennas / margin
+        result = optimizer.optimize_conduction(
+            threshold, n_candidates=40, refine_rounds=1
+        )
+        self._steady_cache = (margin, result.plan)
+        return result.plan
+
+    def conduction_improvement(
+        self,
+        margin: float,
+        threshold_fraction: float,
+        rng: np.random.Generator,
+        n_draws: int = 16,
+    ) -> Tuple[float, float]:
+        """Expected conduction fraction before and after the switch.
+
+        Args:
+            margin: Link margin observed during discovery.
+            threshold_fraction: Sensor threshold as a fraction of the
+                discovery plan's peak (0..1).
+
+        Returns:
+            ``(discovery_fraction, steady_fraction)`` averaged over phase
+            draws. Steady should be at least as large.
+        """
+        if not 0 < threshold_fraction < 1:
+            raise ValueError(
+                f"threshold_fraction must be in (0,1), got {threshold_fraction}"
+            )
+        steady = self.steady_plan(margin)
+        n = self.discovery_plan.n_antennas
+        threshold = threshold_fraction * n
+        fractions = {"discovery": [], "steady": []}
+        for _ in range(n_draws):
+            betas = rng.uniform(0, 2 * math.pi, size=n)
+            fractions["discovery"].append(
+                waveform.conduction_fraction(
+                    self.discovery_plan.offsets_array(), betas, threshold
+                )
+            )
+            fractions["steady"].append(
+                waveform.conduction_fraction(
+                    steady.offsets_array(), betas, threshold
+                )
+            )
+        return (
+            float(np.mean(fractions["discovery"])),
+            float(np.mean(fractions["steady"])),
+        )

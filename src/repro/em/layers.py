@@ -1,0 +1,98 @@
+"""Multi-layer tissue paths.
+
+RF signals travelling from air to an implant cross several tissue layers
+(skin, fat, muscle, organ walls, ...). Each interface reflects part of the
+field and each layer attenuates it exponentially; the layers also accumulate
+deterministic phase. ``LayeredPath`` composes those effects so a channel
+model can ask for the total complex field factor of a body path.
+"""
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.em.media import AIR, Medium
+from repro.em.propagation import field_transmittance
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One homogeneous slab of tissue along the propagation path."""
+
+    medium: Medium
+    thickness_m: float
+
+    def __post_init__(self) -> None:
+        if self.thickness_m < 0:
+            raise ConfigurationError(
+                f"layer thickness must be non-negative, got {self.thickness_m}"
+            )
+
+
+class LayeredPath:
+    """An ordered stack of tissue layers between air and the sensor.
+
+    The field factor of the stack is the product of the interface
+    transmittances with the per-layer decay ``exp(-(alpha + j beta) d)``.
+    The incident side is assumed to be air.
+    """
+
+    def __init__(self, layers: Iterable[Layer]):
+        self._layers: List[Layer] = list(layers)
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[Tuple[Medium, float]]) -> "LayeredPath":
+        """Build a path from ``(medium, thickness_m)`` pairs."""
+        return cls(Layer(medium, thickness) for medium, thickness in pairs)
+
+    @property
+    def layers(self) -> Tuple[Layer, ...]:
+        return tuple(self._layers)
+
+    @property
+    def total_depth_m(self) -> float:
+        """Total tissue depth traversed (m)."""
+        return sum(layer.thickness_m for layer in self._layers)
+
+    def is_empty(self) -> bool:
+        return not self._layers
+
+    def field_factor(self, frequency_hz: float) -> complex:
+        """Complex amplitude factor of the whole stack relative to air.
+
+        Includes the air-to-first-layer interface, each inter-layer
+        interface, the exponential decay, and deterministic phase.
+        """
+        factor = complex(1.0, 0.0)
+        previous = AIR
+        for layer in self._layers:
+            if layer.medium != previous:
+                factor *= field_transmittance(previous, layer.medium, frequency_hz)
+            gamma = layer.medium.propagation_constant(frequency_hz)
+            factor *= cmath.exp(-gamma * layer.thickness_m)
+            previous = layer.medium
+        return factor
+
+    def amplitude_factor(self, frequency_hz: float) -> float:
+        """Magnitude of :meth:`field_factor`."""
+        return abs(self.field_factor(frequency_hz))
+
+    def attenuation_db(self, frequency_hz: float) -> float:
+        """Total field attenuation of the stack in dB (power basis)."""
+        amplitude = self.amplitude_factor(frequency_hz)
+        if amplitude == 0:
+            return math.inf
+        return -20.0 * math.log10(amplitude)
+
+    def phase_rad(self, frequency_hz: float) -> float:
+        """Deterministic phase accumulated across the stack (rad)."""
+        return cmath.phase(self.field_factor(frequency_hz))
+
+
+def uniform_path(medium: Medium, depth_m: float) -> LayeredPath:
+    """Convenience constructor: a single slab of ``medium`` (the Fig. 7 tank)."""
+    if depth_m == 0:
+        return LayeredPath([])
+    return LayeredPath([Layer(medium, depth_m)])

@@ -1,0 +1,91 @@
+"""Multipath due to reflections off organs and the environment.
+
+Section 3.1 notes that in-vivo signals "may also experience multipath as
+they reflect off different organs". Within CIB's sub-200 Hz frequency
+spread every carrier sees the same multipath (frequency-flat fading), so a
+single complex tap sum per antenna captures its effect. The profile below
+draws a sparse set of delayed, attenuated echoes and sums them with the
+direct path.
+"""
+
+import cmath
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MultipathProfile:
+    """Statistical description of the echo environment.
+
+    Attributes:
+        mean_taps: Average number of reflected paths (Poisson distributed).
+        tap_amplitude: Mean echo amplitude relative to the direct path;
+            each echo's amplitude is exponentially distributed around it.
+        max_excess_delay_s: Echo delays are uniform in [0, max_excess_delay].
+    """
+
+    mean_taps: float = 2.0
+    tap_amplitude: float = 0.3
+    max_excess_delay_s: float = 50e-9
+
+    def __post_init__(self) -> None:
+        if self.mean_taps < 0:
+            raise ConfigurationError(f"mean_taps must be >= 0, got {self.mean_taps}")
+        if not 0.0 <= self.tap_amplitude < 1.0:
+            raise ConfigurationError(
+                f"tap_amplitude must be in [0, 1), got {self.tap_amplitude}"
+            )
+        if self.max_excess_delay_s < 0:
+            raise ConfigurationError(
+                f"max_excess_delay_s must be >= 0, got {self.max_excess_delay_s}"
+            )
+
+    def sample_taps(
+        self, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``(amplitudes, delays_s)`` of the reflected paths."""
+        n_taps = int(rng.poisson(self.mean_taps))
+        if n_taps == 0:
+            return np.empty(0), np.empty(0)
+        amplitudes = rng.exponential(self.tap_amplitude, size=n_taps)
+        # Echoes cannot be stronger than the direct path in this model.
+        amplitudes = np.minimum(amplitudes, 0.95)
+        delays = rng.uniform(0.0, self.max_excess_delay_s, size=n_taps)
+        return amplitudes, delays
+
+    def fading_factor(
+        self, frequency_hz: float, rng: np.random.Generator
+    ) -> complex:
+        """Complex gain of direct path plus echoes at ``frequency_hz``.
+
+        The direct path has unit amplitude and zero phase (its deterministic
+        phase is tracked elsewhere); each echo contributes
+        ``a_k * exp(-j (2 pi f tau_k + psi_k))`` with a random reflection
+        phase psi_k.
+        """
+        amplitudes, delays = self.sample_taps(rng)
+        total = complex(1.0, 0.0)
+        for amplitude, delay in zip(amplitudes, delays):
+            reflection_phase = rng.uniform(0.0, 2.0 * np.pi)
+            total += amplitude * cmath.exp(
+                -1j * (2.0 * np.pi * frequency_hz * delay + reflection_phase)
+            )
+        return total
+
+
+NO_MULTIPATH = MultipathProfile(mean_taps=0.0, tap_amplitude=0.0, max_excess_delay_s=0.0)
+"""A profile with no echoes (pure line-of-sight)."""
+
+INDOOR_MULTIPATH = MultipathProfile(
+    mean_taps=3.0, tap_amplitude=0.25, max_excess_delay_s=100e-9
+)
+"""Typical indoor lab environment (Fig. 8 long-range setup)."""
+
+IN_BODY_MULTIPATH = MultipathProfile(
+    mean_taps=2.0, tap_amplitude=0.3, max_excess_delay_s=5e-9
+)
+"""Short-delay organ reflections inside the body."""

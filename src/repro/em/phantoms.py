@@ -1,0 +1,315 @@
+"""Experimental phantoms: the water tank of Fig. 7 and a swine body model.
+
+The paper's wet-lab setups are replaced by parametric phantoms that build
+:class:`~repro.em.channel.BlindChannel` instances:
+
+* :class:`WaterTankPhantom` -- a container of fluid (or a slab of tissue)
+  at a fixed standoff from the antenna array; used by the in-vitro and
+  ex-vivo experiments (Figs. 9-13).
+* :class:`SwinePhantom` -- a layered Yorkshire-pig model with gastric and
+  subcutaneous placements, breathing motion, and random tag orientation;
+  used by the in-vivo experiments (Sec. 6.2).
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.em import media as media_lib
+from repro.em.channel import (
+    BlindChannel,
+    arc_array_distances,
+    linear_array_distances,
+)
+from repro.em.layers import LayeredPath, uniform_path
+from repro.em.media import Medium
+from repro.em.multipath import (
+    IN_BODY_MULTIPATH,
+    NO_MULTIPATH,
+    MultipathProfile,
+)
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class WaterTankPhantom:
+    """A tank of homogeneous medium facing the antenna array (Fig. 7).
+
+    Attributes:
+        medium: What fills the tank (water, simulated fluids, or a slab of
+            ex-vivo tissue for the Fig. 11 media sweep).
+        standoff_m: Distance from the array to the container edge.
+        antenna_spacing_m: Lateral spacing of the array elements.
+    """
+
+    medium: Medium = media_lib.WATER
+    standoff_m: float = 0.5
+    antenna_spacing_m: float = 0.15
+    geometry: str = "arc"
+
+    def __post_init__(self) -> None:
+        if self.standoff_m <= 0:
+            raise ConfigurationError(
+                f"standoff must be positive, got {self.standoff_m}"
+            )
+        if self.geometry not in ("arc", "linear"):
+            raise ConfigurationError(
+                f"geometry must be 'arc' or 'linear', got {self.geometry!r}"
+            )
+
+    def tissue_path(self, depth_m: float) -> LayeredPath:
+        """The single-slab path at ``depth_m`` into the tank."""
+        if self.medium == media_lib.AIR:
+            return LayeredPath([])
+        return uniform_path(self.medium, depth_m)
+
+    def channel(
+        self,
+        n_antennas: int,
+        depth_m: float,
+        frequency_hz: float,
+        phase_mode: str = "random",
+        multipath: Optional[MultipathProfile] = None,
+        orientation_gain: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> BlindChannel:
+        """Build the channel to a sensor at ``depth_m`` inside the tank.
+
+        With the default ``"arc"`` geometry the elements surround the
+        container equidistantly; ``"linear"`` places them in a row with
+        ``antenna_spacing_m`` spacing (used for ablations).
+        """
+        standoff = self.standoff_m + (
+            depth_m if self.medium == media_lib.AIR else 0.0
+        )
+        if self.geometry == "arc":
+            distances = arc_array_distances(standoff, n_antennas, rng=rng)
+        else:
+            distances = linear_array_distances(
+                standoff, n_antennas, self.antenna_spacing_m
+            )
+        return BlindChannel(
+            air_distances_m=distances,
+            tissue_path=self.tissue_path(
+                0.0 if self.medium == media_lib.AIR else depth_m
+            ),
+            frequency_hz=frequency_hz,
+            phase_mode=phase_mode,
+            multipath=NO_MULTIPATH if multipath is None else multipath,
+            orientation_gain=orientation_gain,
+        )
+
+
+#: Layer stacks for the two in-vivo placements of Fig. 14, thickness in m.
+SWINE_PLACEMENTS: Dict[str, Tuple[Tuple[Medium, float], ...]] = {
+    "subcutaneous": (
+        (media_lib.SKIN, 0.002),
+        (media_lib.FAT, 0.008),
+    ),
+    "gastric": (
+        (media_lib.SKIN, 0.003),
+        (media_lib.FAT, 0.015),
+        (media_lib.MUSCLE, 0.020),
+        (media_lib.STOMACH_WALL, 0.005),
+        (media_lib.GASTRIC_CONTENT, 0.025),
+    ),
+}
+
+
+@dataclass
+class SwinePhantom:
+    """Layered body model of the 85-kg Yorkshire pig (Sec. 6.2).
+
+    Antennas sit 30-80 cm lateral to the animal in the coronal plane; the
+    tag's orientation inside the body is uncontrolled, and breathing moves
+    the gastric placement by a few millimeters between trials.
+
+    Attributes:
+        min_standoff_m / max_standoff_m: Antenna distance range (paper:
+            30-80 cm).
+        breathing_amplitude_m: Peak depth modulation from respiration.
+        antenna_spacing_m: Lateral array spacing.
+    """
+
+    min_standoff_m: float = 0.30
+    max_standoff_m: float = 0.80
+    breathing_amplitude_m: float = 0.004
+    antenna_spacing_m: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_standoff_m <= self.max_standoff_m:
+            raise ConfigurationError(
+                "standoff range must satisfy 0 < min <= max, got "
+                f"[{self.min_standoff_m}, {self.max_standoff_m}]"
+            )
+        if self.breathing_amplitude_m < 0:
+            raise ConfigurationError(
+                f"breathing amplitude must be >= 0, got "
+                f"{self.breathing_amplitude_m}"
+            )
+
+    @staticmethod
+    def placements() -> Tuple[str, ...]:
+        """Names of the supported implant placements."""
+        return tuple(SWINE_PLACEMENTS)
+
+    def tissue_path(
+        self, placement: str, rng: Optional[np.random.Generator] = None
+    ) -> LayeredPath:
+        """Layer stack for ``placement``, with breathing-motion jitter.
+
+        The deepest layer's thickness is perturbed by a random fraction of
+        the breathing amplitude when ``rng`` is given; this models the tag
+        moving with respiration between trials.
+        """
+        try:
+            stack = SWINE_PLACEMENTS[placement]
+        except KeyError:
+            known = ", ".join(sorted(SWINE_PLACEMENTS))
+            raise KeyError(
+                f"unknown placement {placement!r}; known placements: {known}"
+            ) from None
+        pairs = [list(pair) for pair in stack]
+        if rng is not None and self.breathing_amplitude_m > 0:
+            jitter = rng.uniform(
+                -self.breathing_amplitude_m, self.breathing_amplitude_m
+            )
+            pairs[-1][1] = max(0.0, pairs[-1][1] + jitter)
+        return LayeredPath.from_pairs([(medium, d) for medium, d in pairs])
+
+    def sample_orientation_gain(self, rng: np.random.Generator) -> float:
+        """Amplitude factor from the tag's uncontrolled orientation.
+
+        The transmit panels are circularly polarized (MT-242025, RHCP), so
+        a linear tag antenna in a uniformly random 3-D orientation loses a
+        fixed 3 dB to the polarization mismatch plus a projection factor
+        ``sin(psi)`` onto the transverse plane, where ``cos(psi)`` is
+        uniform. Deep fades only occur when the tag is nearly axial to the
+        propagation direction -- rare, but they do happen (the paper
+        suspects misorientation in its failed gastric trials).
+        """
+        axial_cosine = rng.uniform(-1.0, 1.0)
+        transverse = math.sqrt(max(0.0, 1.0 - axial_cosine**2))
+        return max(transverse / math.sqrt(2.0), 1e-3)
+
+    def sample_controlled_orientation_gain(
+        self, rng: np.random.Generator
+    ) -> float:
+        """Orientation factor for a deliberately-placed (flat) tag.
+
+        Subcutaneous tags are inserted through an incision and lie flat in
+        the coronal plane facing the antennas; the residual misorientation
+        is within ~30 degrees of broadside.
+        """
+        tilt = rng.uniform(-math.pi / 6.0, math.pi / 6.0)
+        return math.cos(tilt) / math.sqrt(2.0)
+
+    def channel(
+        self,
+        placement: str,
+        n_antennas: int,
+        frequency_hz: float,
+        rng: np.random.Generator,
+        phase_mode: str = "random",
+        multipath: Optional[MultipathProfile] = None,
+    ) -> BlindChannel:
+        """Build the channel of one experimental trial.
+
+        Each call re-samples antenna standoff, tag orientation, and
+        breathing displacement, mirroring the paper's remove-and-replace
+        protocol between trials. Gastric tags tumble freely in the
+        stomach (uncontrolled orientation); subcutaneous tags are laid
+        flat through the incision (controlled orientation).
+        """
+        standoff = rng.uniform(self.min_standoff_m, self.max_standoff_m)
+        distances = linear_array_distances(
+            standoff, n_antennas, self.antenna_spacing_m
+        )
+        if placement == "subcutaneous":
+            orientation = self.sample_controlled_orientation_gain(rng)
+        else:
+            orientation = self.sample_orientation_gain(rng)
+        return BlindChannel(
+            air_distances_m=distances,
+            tissue_path=self.tissue_path(placement, rng),
+            frequency_hz=frequency_hz,
+            phase_mode=phase_mode,
+            multipath=IN_BODY_MULTIPATH if multipath is None else multipath,
+            orientation_gain=orientation,
+        )
+
+    def placement_depth_m(self, placement: str) -> float:
+        """Nominal tissue depth of ``placement`` (m)."""
+        return self.tissue_path(placement).total_depth_m
+
+
+@dataclass
+class HeadPhantom:
+    """A layered head model for the paper's optogenetics motivation.
+
+    Section 1: today's untethered optogenetic implants need the mammal
+    inside a charged 10-cm cavity; IVN's promise is powering such implants
+    from across the room. This phantom stacks scalp, skull, and CSF over a
+    brain of configurable implant depth.
+
+    Attributes:
+        scalp_m / skull_m / csf_m: Fixed overlying layer thicknesses.
+        min_standoff_m / max_standoff_m: Antenna distance range.
+        antenna_spacing_m: Lateral array spacing.
+    """
+
+    scalp_m: float = 0.004
+    skull_m: float = 0.007
+    csf_m: float = 0.002
+    min_standoff_m: float = 0.5
+    max_standoff_m: float = 1.5
+    antenna_spacing_m: float = 0.15
+
+    def __post_init__(self) -> None:
+        if min(self.scalp_m, self.skull_m, self.csf_m) < 0:
+            raise ConfigurationError("layer thicknesses must be >= 0")
+        if not 0 < self.min_standoff_m <= self.max_standoff_m:
+            raise ConfigurationError(
+                "standoff range must satisfy 0 < min <= max"
+            )
+
+    def tissue_path(self, implant_depth_m: float) -> LayeredPath:
+        """Scalp + skull + CSF + ``implant_depth_m`` of brain tissue."""
+        if implant_depth_m < 0:
+            raise ValueError(
+                f"implant depth must be >= 0, got {implant_depth_m}"
+            )
+        return LayeredPath.from_pairs(
+            [
+                (media_lib.SKIN, self.scalp_m),
+                (media_lib.BONE, self.skull_m),
+                (media_lib.CSF, self.csf_m),
+                (media_lib.BRAIN, implant_depth_m),
+            ]
+        )
+
+    def channel(
+        self,
+        implant_depth_m: float,
+        n_antennas: int,
+        frequency_hz: float,
+        rng: np.random.Generator,
+        phase_mode: str = "random",
+    ) -> BlindChannel:
+        """One trial's channel to a brain implant at ``implant_depth_m``."""
+        standoff = rng.uniform(self.min_standoff_m, self.max_standoff_m)
+        distances = arc_array_distances(standoff, n_antennas, rng=rng)
+        return BlindChannel(
+            air_distances_m=distances,
+            tissue_path=self.tissue_path(implant_depth_m),
+            frequency_hz=frequency_hz,
+            phase_mode=phase_mode,
+            multipath=IN_BODY_MULTIPATH,
+            orientation_gain=1.0,
+        )
+
+    def overburden_depth_m(self) -> float:
+        """Fixed depth above the brain surface."""
+        return self.scalp_m + self.skull_m + self.csf_m

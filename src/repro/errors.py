@@ -1,0 +1,25 @@
+"""Exception hierarchy for the IVN reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent or invalid parameters."""
+
+
+class ConstraintViolationError(ReproError):
+    """A carrier plan violates a CIB communication constraint (Section 3.6)."""
+
+
+class ProtocolError(ReproError):
+    """A Gen2 frame could not be built or parsed."""
+
+
+class DecodingError(ReproError):
+    """A received waveform could not be decoded."""
+
+
+class CalibrationError(ReproError):
+    """An experiment calibration search failed to converge."""

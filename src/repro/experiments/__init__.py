@@ -1,0 +1,54 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+| Module             | Paper result                                      |
+|--------------------|---------------------------------------------------|
+| ``fig06``          | Fig. 6 -- best vs worst frequency-set CDFs        |
+| ``fig09``          | Fig. 9 -- gain vs number of antennas              |
+| ``fig10``          | Fig. 10 -- gain vs depth and orientation          |
+| ``fig11``          | Fig. 11 -- gain across media, CIB vs baseline     |
+| ``fig12``          | Fig. 12 -- CDF of CIB/baseline power ratio        |
+| ``fig13``          | Fig. 13 -- range/depth vs antennas (4 panels)     |
+| ``invivo``         | Sec. 6.2 -- swine trials + Fig. 15 traces         |
+| ``constraint_check``| Sec. 3.6 -- flatness-budget arithmetic           |
+| ``ablations``      | Footnote 5, Secs. 3.4-3.7 design ablations        |
+"""
+
+from repro.experiments import (
+    ablations,
+    ber,
+    constraint_check,
+    fig04,
+    fig05,
+    fig06,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    invivo,
+    inventory_throughput,
+    optogenetics,
+    sensitivity,
+    wakeup_latency,
+)
+from repro.experiments.report import Table
+
+__all__ = [
+    "ablations",
+    "ber",
+    "constraint_check",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "invivo",
+    "inventory_throughput",
+    "optogenetics",
+    "sensitivity",
+    "wakeup_latency",
+    "Table",
+]

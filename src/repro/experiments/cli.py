@@ -1,0 +1,174 @@
+"""Command-line runner for the reproduction experiments.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig09
+    python -m repro.experiments fig13 --fast
+    python -m repro.experiments all --fast
+
+Each experiment prints the table(s) the corresponding paper figure shows.
+"""
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    ablations,
+    ber,
+    constraint_check,
+    fig04,
+    fig05,
+    fig06,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    invivo,
+    inventory_throughput,
+    optogenetics,
+    sensitivity,
+    wakeup_latency,
+)
+
+
+def _tables_of(result) -> List:
+    """Collect every table a result object can produce."""
+    tables = []
+    for attribute in ("table", "depth_table", "orientation_table"):
+        method = getattr(result, attribute, None)
+        if callable(method):
+            tables.append(method())
+    if not tables and hasattr(result, "render"):
+        tables.append(result)
+    return tables
+
+
+def _run_figure(module, fast: bool):
+    config_cls = next(
+        (
+            getattr(module, name)
+            for name in dir(module)
+            if name.endswith("Config")
+        ),
+        None,
+    )
+    if config_cls is None:
+        return module.run()
+    config = config_cls.fast() if fast and hasattr(config_cls, "fast") else config_cls()
+    return module.run(config)
+
+
+def _run_ablations(fast: bool):
+    config = (
+        ablations.AblationConfig.fast() if fast else ablations.AblationConfig()
+    )
+    return [
+        ablations.beamsteering_across_media(config),
+        ablations.equal_power_scaling(config),
+        ablations.flatness_violation(config),
+        ablations.two_stage_conduction(config),
+        ablations.plan_quality(config),
+    ]
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], object]] = {
+    "fig04": lambda fast: _run_figure(fig04, fast),
+    "fig05": lambda fast: _run_figure(fig05, fast),
+    "fig06": lambda fast: _run_figure(fig06, fast),
+    "fig09": lambda fast: _run_figure(fig09, fast),
+    "fig10": lambda fast: _run_figure(fig10, fast),
+    "fig11": lambda fast: _run_figure(fig11, fast),
+    "fig12": lambda fast: _run_figure(fig12, fast),
+    "fig13": lambda fast: _run_figure(fig13, fast),
+    "invivo": lambda fast: _run_figure(invivo, fast),
+    "optogenetics": lambda fast: _run_figure(optogenetics, fast),
+    "throughput": lambda fast: _run_figure(inventory_throughput, fast),
+    "wakeup": lambda fast: _run_figure(wakeup_latency, fast),
+    "sensitivity": lambda fast: _run_figure(sensitivity, fast),
+    "ber": lambda fast: _run_figure(ber, fast),
+    "constraints": lambda fast: constraint_check.run(),
+    "ablations": _run_ablations,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the IVN paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["list", "all"],
+        help="which experiment to run ('list' to enumerate, 'all' for every one)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="use reduced trial counts (quick smoke run)",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render ASCII plots for results with natural series/CDFs",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        result = EXPERIMENTS[name](args.fast)
+        elapsed = time.perf_counter() - start
+        print()
+        print(f"### {name} ({elapsed:.1f} s)")
+        items = result if isinstance(result, list) else _tables_of(result)
+        for table in items:
+            print()
+            print(table.render() if hasattr(table, "render") else table)
+        if args.plot:
+            for plot in _plots_of(result):
+                print()
+                print(plot)
+    return 0
+
+
+def _plots_of(result) -> List[str]:
+    """ASCII plots for results exposing natural series or sample sets."""
+    from repro.experiments.report import ascii_cdf, ascii_series
+
+    plots: List[str] = []
+    if hasattr(result, "antenna_counts") and hasattr(result, "medians"):
+        plots.append(
+            ascii_series(
+                result.antenna_counts,
+                result.medians,
+                title="median gain vs antennas",
+            )
+        )
+    if hasattr(result, "ratios"):
+        plots.append(ascii_cdf(result.ratios, title="CIB/baseline ratio CDF"))
+    if hasattr(result, "best_gains") and hasattr(result, "worst_gains"):
+        plots.append(ascii_cdf(result.best_gains, title="best-set gain CDF"))
+        plots.append(ascii_cdf(result.worst_gains, title="worst-set gain CDF"))
+    if hasattr(result, "panels"):
+        for (tag, medium), series in result.panels.items():
+            plots.append(
+                ascii_series(
+                    [n for n, _ in series],
+                    [value for _, value in series],
+                    title=f"{tag} tag range/depth vs antennas ({medium})",
+                )
+            )
+    return plots
+
+
+if __name__ == "__main__":
+    sys.exit(main())

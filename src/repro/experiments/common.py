@@ -1,0 +1,167 @@
+"""Shared measurement drivers for the Section 6 experiments."""
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.mc import spawn_rngs
+from repro.core import waveform as waveform_mod
+from repro.core.baselines import (
+    BlindSameFrequencyTransmitter,
+    CIBTransmitter,
+    SingleAntennaTransmitter,
+    TransmitterStrategy,
+)
+from repro.core.plan import CarrierPlan
+from repro.em.channel import BlindChannel
+from repro.em.media import Medium
+from repro.harvester.tag_power import HarvesterFrontEnd
+from repro.sensors.tags import TagSpec
+
+CAPTURE_DURATION_S = 2.0
+"""The dedicated monitor USRP captures 2-second windows (Sec. 6.1.1)."""
+
+
+@dataclass(frozen=True)
+class GainSample:
+    """Peak-power gains of one trial, all over the same channel draw.
+
+    Attributes:
+        cib_gain: CIB peak power over the single-antenna peak power.
+        baseline_gain: Blind same-frequency N-antenna transmitter over the
+            single-antenna reference.
+    """
+
+    cib_gain: float
+    baseline_gain: float
+
+    @property
+    def ratio(self) -> float:
+        """CIB over baseline -- the Fig. 12 quantity."""
+        return self.cib_gain / self.baseline_gain
+
+
+def measure_gain_trials(
+    channel_factory: Callable[[np.random.Generator], BlindChannel],
+    plan: CarrierPlan,
+    n_trials: int,
+    seed: int,
+    duration_s: float = CAPTURE_DURATION_S,
+    include_baseline: bool = True,
+) -> List[GainSample]:
+    """Run the Sec. 6.1.1 measurement loop.
+
+    Each trial re-places the receive antenna (a fresh channel from the
+    factory), realizes the blind channel, and measures the peak power of
+    CIB -- and optionally the blind N-antenna baseline -- against the
+    single-antenna reference over a capture window.
+    """
+    if n_trials <= 0:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    cib = CIBTransmitter(plan)
+    baseline = BlindSameFrequencyTransmitter(plan.n_antennas)
+    reference = SingleAntennaTransmitter()
+    samples: List[GainSample] = []
+    for rng in spawn_rngs(seed, n_trials):
+        channel = channel_factory(rng)
+        realization = channel.realize(rng)
+        reference_peak = reference.peak_amplitude(realization, rng, duration_s)
+        cib_peak = cib.peak_amplitude(realization, rng, duration_s)
+        if include_baseline:
+            baseline_peak = baseline.peak_amplitude(realization, rng, duration_s)
+        else:
+            baseline_peak = reference_peak
+        samples.append(
+            GainSample(
+                cib_gain=(cib_peak / reference_peak) ** 2,
+                baseline_gain=(baseline_peak / reference_peak) ** 2,
+            )
+        )
+    return samples
+
+
+def peak_input_voltage_v(
+    plan: CarrierPlan,
+    channel: BlindChannel,
+    medium_at_tag: Medium,
+    eirp_per_branch_w: float,
+    tag_spec: TagSpec,
+    rng: np.random.Generator,
+) -> float:
+    """Peak rectifier input amplitude V_s of one CIB trial.
+
+    Mirrors the power-up path of :class:`repro.reader.link.IvnLink` but
+    without the downlink/uplink stages -- the range experiments only need
+    the power-up decision.
+    """
+    if eirp_per_branch_w <= 0:
+        raise ValueError("EIRP must be positive")
+    realization = channel.realize(rng, plan.center_frequency_hz)
+    gains = realization.gains[: plan.n_antennas]
+    betas = rng.uniform(0.0, 2.0 * math.pi, size=gains.size) + np.angle(gains)
+    amplitudes = (
+        math.sqrt(60.0 * eirp_per_branch_w)
+        * np.abs(gains)
+        * plan.amplitudes_array()[: gains.size]
+    )
+    peak_field, _ = waveform_mod.peak_envelope(
+        plan.offsets_array()[: gains.size], betas, 1.0, amplitudes
+    )
+    front_end = HarvesterFrontEnd(
+        antenna=tag_spec.antenna,
+        chip_resistance_ohms=tag_spec.chip_resistance_ohms,
+        liquid_aperture_factor=tag_spec.liquid_aperture_factor,
+    )
+    return front_end.input_voltage_amplitude_v(
+        peak_field, medium_at_tag, plan.center_frequency_hz
+    )
+
+
+def power_up_probability(
+    plan: CarrierPlan,
+    channel_factory: Callable[[np.random.Generator], BlindChannel],
+    medium_at_tag: Medium,
+    eirp_per_branch_w: float,
+    tag_spec: TagSpec,
+    n_trials: int,
+    seed: int,
+) -> float:
+    """Fraction of trials whose peak V_s clears the tag's minimum."""
+    threshold = tag_spec.minimum_input_voltage_v()
+    successes = 0
+    for rng in spawn_rngs(seed, n_trials):
+        channel = channel_factory(rng)
+        voltage = peak_input_voltage_v(
+            plan, channel, medium_at_tag, eirp_per_branch_w, tag_spec, rng
+        )
+        if voltage >= threshold:
+            successes += 1
+    return successes / n_trials
+
+
+def measure_strategy_gains(
+    channel_factory: Callable[[np.random.Generator], BlindChannel],
+    strategy_factory: Callable[[BlindChannel], TransmitterStrategy],
+    n_trials: int,
+    seed: int,
+    duration_s: float = CAPTURE_DURATION_S,
+) -> List[float]:
+    """Peak power gain of an arbitrary strategy vs the single antenna.
+
+    The strategy factory receives the channel so that channel-model-aware
+    strategies (beamsteering) can extract the assumed geometric phases.
+    """
+    if n_trials <= 0:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    reference = SingleAntennaTransmitter()
+    gains: List[float] = []
+    for rng in spawn_rngs(seed, n_trials):
+        channel = channel_factory(rng)
+        strategy = strategy_factory(channel)
+        realization = channel.realize(rng)
+        reference_peak = reference.peak_amplitude(realization, rng, duration_s)
+        peak = strategy.peak_amplitude(realization, rng, duration_s)
+        gains.append((peak / reference_peak) ** 2)
+    return gains

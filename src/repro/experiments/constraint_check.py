@@ -1,0 +1,57 @@
+"""Section 3.6 constraint arithmetic, reproduced as an experiment.
+
+Checks the paper's stated numbers: with alpha = 0.5 and delta-t = 800 us
+the RMS frequency offset must stay below ~199 Hz; the published 10-antenna
+offset set satisfies the budget with margin; and the measured worst-case
+envelope fluctuation over a query window starting at a perfect peak stays
+within the first-order Eq. 8 prediction.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import PAPER_RMS_DELTA_F_BOUND_HZ
+from repro.core.constraints import FlatnessConstraint
+from repro.core.plan import paper_plan
+from repro.core.waveform import worst_case_peak_fluctuation
+from repro.experiments.report import Table
+
+
+@dataclass
+class ConstraintCheckResult:
+    rms_bound_hz: float
+    paper_rms_hz: float
+    predicted_fluctuation: float
+    measured_fluctuation: float
+
+    def table(self) -> Table:
+        table = Table(
+            title="Sec. 3.6 -- flatness-constraint arithmetic",
+            headers=("quantity", "value"),
+        )
+        table.add_row("RMS offset bound (Hz)", self.rms_bound_hz)
+        table.add_row("paper-stated bound (Hz)", PAPER_RMS_DELTA_F_BOUND_HZ)
+        table.add_row("published set RMS (Hz)", self.paper_rms_hz)
+        table.add_row("Eq. 8 predicted peak fluctuation", self.predicted_fluctuation)
+        table.add_row("measured worst-case fluctuation", self.measured_fluctuation)
+        table.add_row(
+            "constraint satisfied",
+            self.paper_rms_hz <= self.rms_bound_hz,
+        )
+        return table
+
+
+def run() -> ConstraintCheckResult:
+    constraint = FlatnessConstraint()
+    plan = paper_plan()
+    offsets = plan.offsets_array()
+    measured = worst_case_peak_fluctuation(
+        offsets, window_s=constraint.query_duration_s
+    )
+    return ConstraintCheckResult(
+        rms_bound_hz=constraint.max_rms_offset_hz,
+        paper_rms_hz=plan.rms_offset_hz(),
+        predicted_fluctuation=constraint.predicted_peak_fluctuation(offsets),
+        measured_fluctuation=measured,
+    )

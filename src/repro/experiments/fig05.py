@@ -1,0 +1,101 @@
+"""Fig. 5 -- blind spots: traditional beamforming vs CIB, quantified.
+
+Fig. 5 argues that under blind channel conditions a same-frequency
+beamformer "will always encounter blind spots, i.e., locations inside the
+body where the signals will add up destructively", while CIB's
+time-varying envelope gives *every* location periodic constructive peaks.
+This experiment makes the cartoon quantitative: across random blind
+channels, what fraction of locations can each scheme ever push past the
+sensor's threshold?
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.optimizer import peak_amplitudes_fft
+from repro.core.plan import paper_plan
+from repro.experiments.report import Table
+
+
+@dataclass(frozen=True)
+class Fig05Config:
+    """Blind-spot census parameters.
+
+    Attributes:
+        n_locations: Random channel-phase draws (each one "a point inside
+            the body").
+        thresholds: Power-up thresholds swept, as fractions of the
+            single-antenna amplitude (e.g. 3.0 = needs 3x one antenna's
+            field).
+        n_antennas: Beamformer size.
+        seed: Experiment seed.
+    """
+
+    n_locations: int = 400
+    thresholds: Tuple[float, ...] = (1.0, 2.0, 3.0, 5.0, 7.0)
+    n_antennas: int = 10
+    seed: int = 5
+
+    @classmethod
+    def fast(cls) -> "Fig05Config":
+        return cls(n_locations=150)
+
+
+@dataclass
+class Fig05Result:
+    """Reachable-location fraction per threshold, per scheme."""
+
+    rows: List[Tuple[float, float, float]]
+    cib_peaks: np.ndarray
+    traditional_levels: np.ndarray
+
+    def table(self) -> Table:
+        table = Table(
+            title=(
+                "Fig. 5 -- fraction of blind-channel locations each scheme "
+                "can push past a threshold"
+            ),
+            headers=(
+                "threshold (x single antenna)",
+                "traditional beamformer",
+                "CIB",
+            ),
+        )
+        for row in self.rows:
+            table.add_row(*row)
+        return table
+
+    def blind_spot_fraction(self, threshold: float) -> float:
+        """Traditional scheme's unreachable-location fraction."""
+        for t, traditional, _ in self.rows:
+            if t == threshold:
+                return 1.0 - traditional
+        raise KeyError(f"threshold {threshold} not in the sweep")
+
+
+def run(config: Fig05Config = Fig05Config()) -> Fig05Result:
+    rng = np.random.default_rng(config.seed)
+    n = config.n_antennas
+    betas = rng.uniform(0.0, 2.0 * np.pi, size=(config.n_locations, n))
+
+    # Traditional: same frequency everywhere -- the envelope at each
+    # location is the *constant* |sum e^{j beta}|, fixed forever.
+    traditional = np.abs(np.sum(np.exp(1j * betas), axis=1))
+
+    # CIB: each location sees a time-varying envelope; its best moment is
+    # the peak over the 1-second period.
+    offsets = tuple(int(f) for f in paper_plan().subset(n).offsets_hz)
+    cib = peak_amplitudes_fft(offsets, betas)
+
+    rows: List[Tuple[float, float, float]] = []
+    for threshold in config.thresholds:
+        rows.append(
+            (
+                threshold,
+                float(np.mean(traditional >= threshold)),
+                float(np.mean(cib >= threshold)),
+            )
+        )
+    return Fig05Result(rows=rows, cib_peaks=cib, traditional_levels=traditional)

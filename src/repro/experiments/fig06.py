@@ -1,0 +1,142 @@
+"""Fig. 6 -- CIB's power gain depends strongly on the frequency selection.
+
+The paper ranks random 5-frequency sets by monte-carlo expected peak and
+plots the peak-power-gain CDFs of the best and worst sets: the best set
+achieves >= 90 % of the optimal 25x across nearly all channel conditions,
+while the worst falls below 75 % of optimal over half of them.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.analysis.stats import empirical_cdf
+from repro.core.optimizer import FrequencyOptimizer, peak_amplitudes_fft
+from repro.experiments.report import Table
+
+
+@dataclass(frozen=True)
+class Fig06Config:
+    """Parameters of the frequency-selection experiment.
+
+    Attributes:
+        n_antennas: Transmitter size (the paper uses 5).
+        n_random_sets: Random feasible sets ranked to find best/worst.
+        n_channel_draws: Blind-channel draws for each CDF.
+        seed: Experiment seed.
+    """
+
+    n_antennas: int = 5
+    n_random_sets: int = 40
+    n_channel_draws: int = 300
+    seed: int = 6
+
+    @classmethod
+    def fast(cls) -> "Fig06Config":
+        return cls(n_random_sets=15, n_channel_draws=100)
+
+
+@dataclass
+class Fig06Result:
+    """CDF data plus the selected frequency sets."""
+
+    best_offsets: Tuple[int, ...]
+    worst_offsets: Tuple[int, ...]
+    best_gains: np.ndarray
+    worst_gains: np.ndarray
+    optimal_gain: float
+
+    def table(self) -> Table:
+        table = Table(
+            title=(
+                "Fig. 6 -- CDF of peak power gain, best vs worst 5-frequency "
+                f"set (optimal = {self.optimal_gain:.0f}x)"
+            ),
+            headers=(
+                "percentile",
+                "best-set gain",
+                "worst-set gain",
+                "best/optimal",
+                "worst/optimal",
+            ),
+        )
+        for percentile in (5, 10, 25, 50, 75, 90, 95):
+            best = float(np.percentile(self.best_gains, percentile))
+            worst = float(np.percentile(self.worst_gains, percentile))
+            table.add_row(
+                percentile,
+                best,
+                worst,
+                best / self.optimal_gain,
+                worst / self.optimal_gain,
+            )
+        return table
+
+    def cdfs(self):
+        """``((best_x, best_y), (worst_x, worst_y))`` CDF curves."""
+        return empirical_cdf(self.best_gains), empirical_cdf(self.worst_gains)
+
+
+def _gain_distribution(
+    offsets: Tuple[int, ...], n_draws: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Peak power gain across random blind channels for one offset set."""
+    betas = rng.uniform(0.0, 2.0 * np.pi, size=(n_draws, len(offsets)))
+    peaks = peak_amplitudes_fft(offsets, betas)
+    return peaks**2
+
+
+def _structured_candidates(n_antennas: int, rng: np.random.Generator, count: int):
+    """Tightly-clustered / arithmetic sets an arbitrary selection may pick.
+
+    Sec. 3.5 warns that "an arbitrary frequency selection" does not reach
+    the N^2 peak: arithmetic progressions and narrow clusters constrain
+    the relative phases so that full alignment is unreachable under many
+    channel conditions. These are the candidates that populate Fig. 6's
+    "worst frequency" curve.
+    """
+    candidates = []
+    for _ in range(count):
+        if rng.uniform() < 0.5:
+            step = int(rng.integers(1, 6))
+            candidates.append(
+                tuple(step * index for index in range(n_antennas))
+            )
+        else:
+            spread = int(rng.integers(n_antennas, 3 * n_antennas))
+            draws = rng.choice(
+                np.arange(1, spread + 1),
+                size=n_antennas - 1,
+                replace=False,
+            )
+            candidates.append((0,) + tuple(sorted(int(v) for v in draws)))
+    return candidates
+
+
+def run(config: Fig06Config = Fig06Config()) -> Fig06Result:
+    """Rank random sets (wide and tight), then build best/worst gain CDFs."""
+    optimizer = FrequencyOptimizer(
+        config.n_antennas, n_draws=48, seed=config.seed
+    )
+    pool_rng = np.random.default_rng(config.seed + 17)
+    pool = [
+        optimizer.random_candidate() for _ in range(config.n_random_sets)
+    ] + _structured_candidates(
+        config.n_antennas, pool_rng, max(4, config.n_random_sets // 3)
+    )
+    scored = sorted(
+        ((candidate, optimizer.objective(candidate)) for candidate in pool),
+        key=lambda item: item[1],
+    )
+    (worst_offsets, _), (best_offsets, _) = scored[0], scored[-1]
+    rng = np.random.default_rng(config.seed + 1)
+    best_gains = _gain_distribution(best_offsets, config.n_channel_draws, rng)
+    worst_gains = _gain_distribution(worst_offsets, config.n_channel_draws, rng)
+    return Fig06Result(
+        best_offsets=best_offsets,
+        worst_offsets=worst_offsets,
+        best_gains=best_gains,
+        worst_gains=worst_gains,
+        optimal_gain=float(config.n_antennas**2),
+    )

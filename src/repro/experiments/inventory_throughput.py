@@ -1,0 +1,138 @@
+"""Extension experiment: Gen2 inventory throughput over the CIB link.
+
+Section 3.7 argues IVN "can seamlessly scale to multiple in-vivo sensors"
+using standard backscatter arbitration. This experiment quantifies the
+cost: read rate (tags/second of airtime) versus population size, with the
+Q-adaptive slotted-ALOHA rounds and the real Gen2 airtimes (PIE downlink
+at Tari, FM0 uplink at the BLF).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.constants import DEFAULT_BACKSCATTER_LINK_FREQUENCY_HZ
+from repro.experiments.report import Table
+from repro.gen2.commands import Ack, Query, QueryRep
+from repro.gen2.fm0 import symbol_duration_s
+from repro.gen2.inventory import InventoryRound, QAlgorithm
+from repro.gen2.pie import PIETiming
+from repro.gen2.tag_state import Gen2Tag
+
+#: Gen2 link turnaround gaps (T1 + T2), order of a few hundred us total.
+TURNAROUND_S = 300e-6
+
+
+@dataclass(frozen=True)
+class ThroughputConfig:
+    """Inventory-throughput sweep parameters."""
+
+    populations: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+    initial_q: int = 4
+    max_rounds: int = 64
+    blf_hz: float = DEFAULT_BACKSCATTER_LINK_FREQUENCY_HZ
+    seed: int = 51
+
+    @classmethod
+    def fast(cls) -> "ThroughputConfig":
+        return cls(populations=(1, 4, 16))
+
+
+@dataclass
+class ThroughputResult:
+    rows: List[Tuple[int, int, float, float, float]]
+
+    def table(self) -> Table:
+        table = Table(
+            title=(
+                "Extension -- Gen2 inventory throughput over the CIB link "
+                "(Q-adaptive slotted ALOHA)"
+            ),
+            headers=(
+                "tags",
+                "slots used",
+                "airtime (ms)",
+                "tags/s",
+                "slot efficiency",
+            ),
+        )
+        for row in self.rows:
+            table.add_row(*row)
+        return table
+
+    def rates(self) -> List[float]:
+        return [row[3] for row in self.rows]
+
+
+class AirtimeModel:
+    """Airtime of the Gen2 primitives at the configured rates."""
+
+    def __init__(self, timing: PIETiming = PIETiming(), blf_hz: float = 40e3):
+        self.timing = timing
+        self.blf_hz = float(blf_hz)
+
+    def downlink_s(self, bits: int, preamble: bool) -> float:
+        # Average PIE symbol is (data0 + data1) / 2.
+        average_symbol = (self.timing.data0_s + self.timing.data1_s) / 2.0
+        overhead = self.timing.delimiter_s + self.timing.data0_s + (
+            self.timing.rtcal_s
+        )
+        if preamble:
+            overhead += self.timing.trcal_s
+        return overhead + bits * average_symbol
+
+    def uplink_s(self, bits: int) -> float:
+        # FM0: preamble (6 symbols) + payload + dummy, one symbol per bit.
+        return (6 + bits + 1) * symbol_duration_s(self.blf_hz)
+
+    def slot_s(self, outcome: str) -> float:
+        """Airtime of one slot by outcome kind."""
+        base = self.downlink_s(4, preamble=False) + TURNAROUND_S
+        if outcome == "empty":
+            return base
+        base += self.uplink_s(16)  # RN16
+        if outcome == "collision":
+            return base + TURNAROUND_S
+        # Singleton: ACK + EPC reply.
+        base += self.downlink_s(18, preamble=False) + TURNAROUND_S
+        base += self.uplink_s(128)  # PC + EPC + CRC16
+        return base + TURNAROUND_S
+
+    def query_s(self) -> float:
+        return self.downlink_s(22, preamble=True) + TURNAROUND_S
+
+
+def run(config: ThroughputConfig = ThroughputConfig()) -> ThroughputResult:
+    airtime = AirtimeModel(blf_hz=config.blf_hz)
+    rows: List[Tuple[int, int, float, float, float]] = []
+    for population in config.populations:
+        rng = np.random.default_rng(config.seed + population)
+        tags = []
+        for index in range(population):
+            epc = tuple(int(b) for b in rng.integers(0, 2, 96))
+            tag = Gen2Tag(epc, np.random.default_rng(config.seed * 100 + index))
+            tag.power_up()
+            tags.append(tag)
+        algorithm = QAlgorithm(initial_q=config.initial_q)
+        seen = set()
+        total_airtime = 0.0
+        total_slots = 0
+        for _ in range(config.max_rounds):
+            round_driver = InventoryRound(tags)
+            result = round_driver.run(algorithm.q)
+            total_airtime += airtime.query_s()
+            for slot in result.slots:
+                total_airtime += airtime.slot_s(slot.kind)
+                total_slots += 1
+                algorithm.on_slot(slot.n_replies)
+            seen.update(result.epcs)
+            if result.n_singletons == 0 and result.n_collisions == 0:
+                break
+        read = len(seen)
+        rate = read / total_airtime if total_airtime > 0 else 0.0
+        efficiency = read / total_slots if total_slots else 0.0
+        rows.append(
+            (population, total_slots, total_airtime * 1e3, rate, efficiency)
+        )
+    return ThroughputResult(rows=rows)

@@ -1,0 +1,128 @@
+"""Plain-text tabular reports for experiment results.
+
+Every experiment returns a :class:`Table`; the benchmark harness prints it
+so each bench regenerates the same rows/series the paper's figure shows.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+
+@dataclass
+class Table:
+    """A titled table with typed-ish formatting.
+
+    Attributes:
+        title: Table caption (e.g. "Fig. 9 -- gain vs number of antennas").
+        headers: Column names.
+        rows: Row values; floats are formatted compactly.
+    """
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.headers)} columns"
+            )
+        self.rows.append(values)
+
+    @staticmethod
+    def _format(value: Any) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            magnitude = abs(value)
+            if magnitude >= 1000 or magnitude < 0.01:
+                return f"{value:.3g}"
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    def render(self) -> str:
+        """Render the table as aligned monospace text."""
+        formatted = [[self._format(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(str(header)), *(len(row[i]) for row in formatted))
+            if formatted
+            else len(str(header))
+            for i, header in enumerate(self.headers)
+        ]
+        lines = [self.title]
+        header_line = "  ".join(
+            str(h).ljust(widths[i]) for i, h in enumerate(self.headers)
+        )
+        lines.append(header_line)
+        lines.append("-" * len(header_line))
+        for row in formatted:
+            lines.append(
+                "  ".join(row[i].ljust(widths[i]) for i in range(len(row)))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column (for assertions in tests/benches)."""
+        try:
+            index = list(self.headers).index(name)
+        except ValueError:
+            raise KeyError(
+                f"no column {name!r}; have {list(self.headers)}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+
+def ascii_series(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render an (x, y) series as a monospace scatter/line plot.
+
+    A terminal stand-in for the paper's line figures; used by the CLI and
+    examples so results are inspectable without matplotlib.
+    """
+    xs = [float(v) for v in x]
+    ys = [float(v) for v in y]
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("x and y must be equal-length, non-empty sequences")
+    if width < 10 or height < 4:
+        raise ValueError("plot must be at least 10x4 characters")
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for px, py in zip(xs, ys):
+        column = int((px - x_min) / x_span * (width - 1))
+        row = int((py - y_min) / y_span * (height - 1))
+        grid[height - 1 - row][column] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:10.3g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_min:10.3g} +" + "-" * width)
+    lines.append(
+        " " * 12 + f"{x_min:<10.3g}" + " " * max(0, width - 20) + f"{x_max:>10.3g}"
+    )
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    samples: Sequence[float], width: int = 60, height: int = 12, title: str = ""
+) -> str:
+    """Render an empirical CDF (the Figs. 6/12 presentation) in ASCII."""
+    values = sorted(float(v) for v in samples)
+    if not values:
+        raise ValueError("samples must be non-empty")
+    fractions = [(index + 1) / len(values) for index in range(len(values))]
+    return ascii_series(values, fractions, width=width, height=height, title=title)

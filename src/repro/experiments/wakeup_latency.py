@@ -1,0 +1,125 @@
+"""Extension experiment: wake-up latency vs depth (Sec. 2.3's duty cycle).
+
+Near the threshold, a sensor does not wake instantly: it "accumulate[s]
+sufficient energy before communication or actuation" (Sec. 2.3), charging
+its storage capacitor a little on every envelope peak. This experiment
+runs the time-domain rectifier + power-management model over repeated CIB
+periods and reports how long a sensor at each depth needs before its
+first response -- the latency cost of operating near the edge of the
+power-up region.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.mc import spawn_rngs
+from repro.constants import TANK_STANDOFF_RANGE_M
+from repro.core import waveform
+from repro.core.plan import paper_plan
+from repro.em.media import WATER
+from repro.em.phantoms import WaterTankPhantom
+from repro.experiments.report import Table
+from repro.sensors.sensor import BatteryFreeSensor
+from repro.sensors.tags import standard_tag_spec
+
+
+@dataclass(frozen=True)
+class WakeupConfig:
+    """Latency-sweep parameters.
+
+    Attributes:
+        depths_m: Water depths swept.
+        n_antennas: Beamformer size.
+        eirp_per_branch_w: Radiated EIRP per branch.
+        n_trials: Channel draws per depth.
+        max_periods: Charging budget (seconds of CIB operation).
+        envelope_rate_hz: Envelope sampling rate for the rectifier sim.
+        seed: Experiment seed.
+    """
+
+    depths_m: Tuple[float, ...] = (0.05, 0.10, 0.15, 0.20, 0.24)
+    n_antennas: int = 8
+    eirp_per_branch_w: float = 6.0
+    n_trials: int = 6
+    max_periods: int = 5
+    envelope_rate_hz: float = 20e3
+    seed: int = 52
+
+    @classmethod
+    def fast(cls) -> "WakeupConfig":
+        return cls(depths_m=(0.05, 0.15, 0.24), n_trials=4, max_periods=3)
+
+
+@dataclass
+class WakeupResult:
+    """Median wake-up latency (s) per depth; None = never woke."""
+
+    rows: List[Tuple[float, Optional[float], float]]
+
+    def table(self) -> Table:
+        table = Table(
+            title=(
+                "Extension -- wake-up latency vs depth in water "
+                "(8-antenna CIB, storage-capacitor dynamics)"
+            ),
+            headers=("depth (cm)", "median latency (s)", "wake fraction"),
+        )
+        for depth, latency, fraction in self.rows:
+            table.add_row(
+                depth * 100.0,
+                "never" if latency is None else latency,
+                fraction,
+            )
+        return table
+
+    def latency_at(self, depth_m: float) -> Optional[float]:
+        for depth, latency, _ in self.rows:
+            if depth == depth_m:
+                return latency
+        raise KeyError(f"depth {depth_m} not in the sweep")
+
+
+def _trial_latency(
+    config: WakeupConfig,
+    depth_m: float,
+    rng: np.random.Generator,
+) -> Optional[float]:
+    """Wake-up latency of one placement (None when it never wakes)."""
+    plan = paper_plan().subset(config.n_antennas)
+    tank = WaterTankPhantom(standoff_m=TANK_STANDOFF_RANGE_M)
+    channel = tank.channel(
+        config.n_antennas, depth_m, plan.center_frequency_hz, rng=rng
+    )
+    realization = channel.realize(rng)
+    gains = realization.gains
+    betas = rng.uniform(0, 2 * np.pi, gains.size) + np.angle(gains)
+    amplitudes = (
+        np.sqrt(60.0 * config.eirp_per_branch_w) * np.abs(gains)
+    )
+    spec = standard_tag_spec()
+    sensor = BatteryFreeSensor(
+        spec, tuple(int(b) for b in rng.integers(0, 2, 96)), rng
+    )
+    dt = 1.0 / config.envelope_rate_hz
+    t = np.arange(int(config.max_periods * config.envelope_rate_hz)) * dt
+    field_envelope = waveform.envelope(plan.offsets_array(), betas, t, amplitudes)
+    # Field -> rectifier input voltage, via the medium-aware front end.
+    scale = sensor.input_voltage_from_field(1.0, WATER, plan.center_frequency_hz)
+    voltage_envelope = scale * field_envelope
+    result = sensor.evaluate_power_envelope(voltage_envelope, dt)
+    return result.time_to_power_up_s
+
+
+def run(config: WakeupConfig = WakeupConfig()) -> WakeupResult:
+    rows: List[Tuple[float, Optional[float], float]] = []
+    for depth in config.depths_m:
+        latencies: List[Optional[float]] = []
+        for rng in spawn_rngs(config.seed + int(depth * 1e4), config.n_trials):
+            latencies.append(_trial_latency(config, depth, rng))
+        woke = [value for value in latencies if value is not None]
+        fraction = len(woke) / len(latencies)
+        median = float(np.median(woke)) if woke else None
+        rows.append((depth, median, fraction))
+    return WakeupResult(rows=rows)

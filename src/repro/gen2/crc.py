@@ -1,0 +1,83 @@
+"""CRC-5 and CRC-16 per the EPC Gen2 air-interface specification.
+
+Gen2 protects Query commands with CRC-5 (polynomial x^5 + x^3 + 1, preset
+01001b) and longer commands / EPC backscatter with CRC-16 (CCITT x^16 +
+x^12 + x^5 + 1, preset 0xFFFF, ones-complemented output). Everything here
+works on bit sequences (tuples of 0/1) since the rest of the protocol
+stack is bit-oriented.
+"""
+
+from typing import Sequence, Tuple
+
+from repro.errors import ProtocolError
+
+CRC5_POLY = 0b01001
+CRC5_PRESET = 0b01001
+CRC16_POLY = 0x1021
+CRC16_PRESET = 0xFFFF
+CRC16_RESIDUE = 0x1D0F
+"""Expected remainder when checking a message with appended CRC-16."""
+
+
+def _validate_bits(bits: Sequence[int]) -> Tuple[int, ...]:
+    values = tuple(int(bit) for bit in bits)
+    if any(bit not in (0, 1) for bit in values):
+        raise ProtocolError(f"expected a bit sequence, got {bits!r}")
+    return values
+
+
+def crc5(bits: Sequence[int]) -> Tuple[int, ...]:
+    """CRC-5 of ``bits``, returned MSB-first as 5 bits."""
+    data = _validate_bits(bits)
+    register = CRC5_PRESET
+    for bit in data:
+        msb = (register >> 4) & 1
+        register = ((register << 1) & 0b11111) | 0
+        if msb ^ bit:
+            register ^= CRC5_POLY
+    return tuple((register >> shift) & 1 for shift in range(4, -1, -1))
+
+
+def append_crc5(bits: Sequence[int]) -> Tuple[int, ...]:
+    """Message with its CRC-5 appended (how a Query goes on the air)."""
+    data = _validate_bits(bits)
+    return data + crc5(data)
+
+
+def check_crc5(bits_with_crc: Sequence[int]) -> bool:
+    """Verify a message whose last 5 bits are its CRC-5."""
+    data = _validate_bits(bits_with_crc)
+    if len(data) <= 5:
+        raise ProtocolError(
+            f"message too short for CRC-5 check: {len(data)} bits"
+        )
+    return crc5(data[:-5]) == data[-5:]
+
+
+def crc16(bits: Sequence[int]) -> Tuple[int, ...]:
+    """CRC-16 (CCITT, complemented) of ``bits``, MSB-first as 16 bits."""
+    data = _validate_bits(bits)
+    register = CRC16_PRESET
+    for bit in data:
+        msb = (register >> 15) & 1
+        register = (register << 1) & 0xFFFF
+        if msb ^ bit:
+            register ^= CRC16_POLY
+    register ^= 0xFFFF
+    return tuple((register >> shift) & 1 for shift in range(15, -1, -1))
+
+
+def append_crc16(bits: Sequence[int]) -> Tuple[int, ...]:
+    """Message with its CRC-16 appended."""
+    data = _validate_bits(bits)
+    return data + crc16(data)
+
+
+def check_crc16(bits_with_crc: Sequence[int]) -> bool:
+    """Verify a message whose last 16 bits are its CRC-16."""
+    data = _validate_bits(bits_with_crc)
+    if len(data) <= 16:
+        raise ProtocolError(
+            f"message too short for CRC-16 check: {len(data)} bits"
+        )
+    return crc16(data[:-16]) == data[-16:]

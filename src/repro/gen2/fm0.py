@@ -1,0 +1,167 @@
+"""FM0 (bi-phase space) encoding: the Gen2 uplink line code.
+
+FM0 inverts the baseband level at every symbol boundary; a data-0 carries
+an additional mid-symbol inversion. The preamble (TRext = 0) is the
+6-symbol sequence ``1 0 1 0 v 1`` where ``v`` violates the boundary-
+inversion rule; expressed as half-bit chips it is exactly the 12-bit
+pattern ``110100100011`` the paper correlates against (Section 6.2).
+"""
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import PAPER_PREAMBLE_BITS
+from repro.errors import DecodingError, ProtocolError
+
+PREAMBLE_SYMBOLS = (1, 0, 1, 0, None, 1)
+"""TRext=0 preamble; ``None`` marks the violation symbol."""
+
+PREAMBLE_CHIPS = PAPER_PREAMBLE_BITS
+"""Half-bit chip expansion of the preamble: '110100100011'."""
+
+
+def _encode_bit(bit: int, level: int) -> Tuple[Tuple[int, int], int]:
+    """Chips for one data bit given the level *before* the bit.
+
+    Returns ``(chips, level_after)``. The level always inverts at the
+    symbol boundary; a data-0 inverts again mid-symbol.
+    """
+    first = level ^ 1
+    if bit == 1:
+        return (first, first), first
+    return (first, first ^ 1), first ^ 1
+
+
+def encode_chips(
+    bits: Sequence[int],
+    include_preamble: bool = True,
+    dummy_bit: bool = True,
+    pilot_tone_bits: int = 0,
+) -> Tuple[int, ...]:
+    """FM0-encode ``bits`` into half-bit chips in {0, 1}.
+
+    Args:
+        bits: Data bits (e.g. an RN16).
+        include_preamble: Prepend the 12-chip preamble.
+        dummy_bit: Append the spec's end-of-signaling dummy data-1.
+        pilot_tone_bits: Extra leading data-0-like pilot bits (TRext = 1
+            uses 12); encoded as zeros before the preamble.
+    """
+    values = [int(b) for b in bits]
+    if any(v not in (0, 1) for v in values):
+        raise ProtocolError(f"bits must be 0/1, got {bits!r}")
+    if pilot_tone_bits < 0:
+        raise ProtocolError("pilot_tone_bits must be >= 0")
+
+    chips: List[int] = []
+    level = 0
+    if pilot_tone_bits:
+        for _ in range(pilot_tone_bits):
+            symbol, level = _encode_bit(0, level)
+            chips.extend(symbol)
+    if include_preamble:
+        start = len(chips)
+        del start
+        # The preamble chip pattern is fixed; splice it in and continue
+        # from its final level.
+        chips.extend(PREAMBLE_CHIPS)
+        level = PREAMBLE_CHIPS[-1]
+    for bit in values:
+        symbol, level = _encode_bit(bit, level)
+        chips.extend(symbol)
+    if dummy_bit:
+        symbol, level = _encode_bit(1, level)
+        chips.extend(symbol)
+    return tuple(chips)
+
+
+def decode_chips(
+    chips: Sequence[int],
+    has_preamble: bool = True,
+    expect_dummy: bool = True,
+) -> Tuple[int, ...]:
+    """Decode hard chips back to data bits.
+
+    Raises:
+        DecodingError: on preamble mismatch, FM0 rule violations in the
+            data section, or odd-length chip streams.
+    """
+    values = [int(c) for c in chips]
+    if any(v not in (0, 1) for v in values):
+        raise ProtocolError(f"chips must be 0/1, got {chips!r}")
+    if len(values) % 2 != 0:
+        raise DecodingError(f"chip stream length {len(values)} is odd")
+
+    position = 0
+    level = 0
+    if has_preamble:
+        if len(values) < len(PREAMBLE_CHIPS):
+            raise DecodingError("chip stream shorter than the preamble")
+        received = tuple(values[: len(PREAMBLE_CHIPS)])
+        if received not in (PREAMBLE_CHIPS, _invert(PREAMBLE_CHIPS)):
+            raise DecodingError(f"preamble mismatch: {received}")
+        # Allow a globally-inverted stream (unknown backscatter polarity).
+        if received == _invert(PREAMBLE_CHIPS):
+            values = list(_invert(tuple(values)))
+        position = len(PREAMBLE_CHIPS)
+        level = values[position - 1]
+
+    bits: List[int] = []
+    while position + 2 <= len(values):
+        first, second = values[position], values[position + 1]
+        if first == level:
+            raise DecodingError(
+                f"missing boundary inversion at chip {position}"
+            )
+        bits.append(1 if second == first else 0)
+        level = second
+        position += 2
+    if expect_dummy:
+        if not bits or bits[-1] != 1:
+            raise DecodingError("missing end-of-signaling dummy bit")
+        bits = bits[:-1]
+    return tuple(bits)
+
+
+def _invert(chips: Tuple[int, ...]) -> Tuple[int, ...]:
+    return tuple(1 - c for c in chips)
+
+
+def chips_to_waveform(
+    chips: Sequence[int],
+    samples_per_chip: int,
+    high: float = 1.0,
+    low: float = -1.0,
+) -> np.ndarray:
+    """Expand chips to a sampled bipolar waveform (backscatter levels)."""
+    if samples_per_chip < 1:
+        raise ValueError(
+            f"samples_per_chip must be >= 1, got {samples_per_chip}"
+        )
+    levels = np.where(np.asarray(chips, dtype=int) == 1, high, low)
+    return np.repeat(levels, samples_per_chip)
+
+
+def waveform_to_chips(
+    waveform: np.ndarray, samples_per_chip: int
+) -> Tuple[int, ...]:
+    """Hard-decide chips from a sampled waveform by per-chip averaging."""
+    if samples_per_chip < 1:
+        raise ValueError(
+            f"samples_per_chip must be >= 1, got {samples_per_chip}"
+        )
+    data = np.asarray(waveform, dtype=float)
+    n_chips = data.size // samples_per_chip
+    if n_chips == 0:
+        raise DecodingError("waveform shorter than one chip")
+    trimmed = data[: n_chips * samples_per_chip]
+    means = trimmed.reshape(n_chips, samples_per_chip).mean(axis=1)
+    return tuple(int(value > 0.0) for value in means)
+
+
+def symbol_duration_s(backscatter_link_frequency_hz: float) -> float:
+    """Duration of one FM0 data bit at a given BLF (one subcarrier cycle)."""
+    if backscatter_link_frequency_hz <= 0:
+        raise ValueError("BLF must be positive")
+    return 1.0 / backscatter_link_frequency_hz

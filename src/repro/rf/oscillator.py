@@ -1,0 +1,116 @@
+"""Oscillator (PLL) models.
+
+Each USRP's SBX daughterboard locks its PLL to the shared 10 MHz reference,
+which pins the *frequency* but leaves the *initial phase* arbitrary -- the
+theta_i of Eq. 5 that makes the channel blind even before tissue enters the
+picture. Section 5 also notes USRP PLLs cannot stably generate few-Hz
+offsets, so IVN soft-codes the offsets into the baseband samples; the
+:class:`SoftOffsetSynthesizer` models exactly that.
+"""
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Oscillator:
+    """A PLL-derived carrier with random initial phase and phase noise.
+
+    Args:
+        frequency_hz: Nominal carrier frequency.
+        rng: Source of the initial phase (and phase-noise innovations).
+        phase_noise_std_rad_per_sqrt_s: Random-walk phase-noise intensity;
+            the phase std after tau seconds is this value times sqrt(tau).
+            Locked lab-grade references keep this small.
+        frequency_error_hz: Static frequency error (e.g. reference drift
+            expressed at RF). Zero when locked to a common reference.
+    """
+
+    def __init__(
+        self,
+        frequency_hz: float,
+        rng: np.random.Generator,
+        phase_noise_std_rad_per_sqrt_s: float = 0.0,
+        frequency_error_hz: float = 0.0,
+    ):
+        if frequency_hz <= 0:
+            raise ConfigurationError(
+                f"frequency must be positive, got {frequency_hz}"
+            )
+        if phase_noise_std_rad_per_sqrt_s < 0:
+            raise ConfigurationError("phase noise intensity must be >= 0")
+        self.frequency_hz = float(frequency_hz)
+        self.frequency_error_hz = float(frequency_error_hz)
+        self._phase_noise_std = float(phase_noise_std_rad_per_sqrt_s)
+        self._rng = rng
+        self.initial_phase_rad = float(rng.uniform(0.0, 2.0 * math.pi))
+
+    def relock(self) -> None:
+        """Re-acquire lock: the initial phase is redrawn (a new theta_i)."""
+        self.initial_phase_rad = float(self._rng.uniform(0.0, 2.0 * math.pi))
+
+    def phase_at(self, t: np.ndarray) -> np.ndarray:
+        """Instantaneous phase at times ``t`` (excluding phase noise)."""
+        t = np.asarray(t, dtype=float)
+        return (
+            2.0 * math.pi * (self.frequency_hz + self.frequency_error_hz) * t
+            + self.initial_phase_rad
+        )
+
+    def carrier(self, t: np.ndarray) -> np.ndarray:
+        """Complex carrier samples ``exp(j phase(t))`` with phase noise."""
+        t = np.asarray(t, dtype=float)
+        phase = self.phase_at(t)
+        if self._phase_noise_std > 0 and t.size > 1:
+            dt = np.diff(t, prepend=t[0])
+            dt = np.maximum(dt, 0.0)
+            innovations = self._rng.normal(
+                0.0, self._phase_noise_std * np.sqrt(dt)
+            )
+            phase = phase + np.cumsum(innovations)
+        return np.exp(1j * phase)
+
+
+class SoftOffsetSynthesizer:
+    """Baseband synthesis of a small frequency offset (Section 5).
+
+    "Since USRPs cannot stably generate small frequency offsets, we
+    soft-coded these offsets directly into the complex numbers before
+    sending them to the USRP." This class rotates baseband samples by
+    ``exp(j 2 pi df t)`` with double-precision phase accumulation so the
+    offset is exact over arbitrarily long streams.
+    """
+
+    def __init__(self, offset_hz: float, sample_rate_hz: float):
+        if sample_rate_hz <= 0:
+            raise ConfigurationError(
+                f"sample rate must be positive, got {sample_rate_hz}"
+            )
+        if abs(offset_hz) >= sample_rate_hz / 2.0:
+            raise ConfigurationError(
+                f"offset {offset_hz} Hz exceeds Nyquist for rate {sample_rate_hz}"
+            )
+        self.offset_hz = float(offset_hz)
+        self.sample_rate_hz = float(sample_rate_hz)
+        self._sample_index = 0
+
+    @property
+    def sample_index(self) -> int:
+        """Number of samples already rotated (stream position)."""
+        return self._sample_index
+
+    def rotate(self, samples: np.ndarray) -> np.ndarray:
+        """Apply the offset rotation to the next block of samples."""
+        samples = np.asarray(samples)
+        n = samples.size
+        indices = self._sample_index + np.arange(n)
+        phase = 2.0 * math.pi * self.offset_hz * indices / self.sample_rate_hz
+        self._sample_index += n
+        return samples * np.exp(1j * phase)
+
+    def reset(self) -> None:
+        """Rewind the stream position to zero."""
+        self._sample_index = 0

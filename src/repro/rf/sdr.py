@@ -1,0 +1,109 @@
+"""Software-radio abstraction: USRP-like radios in a synchronized array.
+
+:class:`SoftwareRadio` bundles a transmit chain with an identity;
+:class:`RadioArray` groups N radios under one :class:`SyncDomain` and
+builds synchronized multi-antenna transmissions -- the hardware realization
+of a :class:`~repro.core.beamformer.CIBBeamformer`.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.plan import CarrierPlan
+from repro.errors import ConfigurationError
+from repro.rf.sync import SyncDomain
+from repro.rf.transmitter import TransmitChain
+
+
+@dataclass
+class SoftwareRadio:
+    """One USRP-like radio: a name plus its transmit chain."""
+
+    name: str
+    chain: TransmitChain
+
+    def transmit(self, envelope: np.ndarray) -> np.ndarray:
+        """Generate this radio's samples for a shared command envelope."""
+        return self.chain.transmit(envelope)
+
+
+class RadioArray:
+    """N synchronized radios implementing a carrier plan.
+
+    Args:
+        plan: The CIB carrier plan (one offset per radio).
+        rng: Randomness source (oscillator phases, trigger jitter).
+        tx_power_dbm: Per-branch transmit power.
+        sample_rate_hz: Shared baseband rate.
+        sync: Trigger domain; defaults to an Octoclock-like domain.
+    """
+
+    def __init__(
+        self,
+        plan: CarrierPlan,
+        rng: np.random.Generator,
+        tx_power_dbm: float = 30.0,
+        sample_rate_hz: float = 1e6,
+        sync: Optional[SyncDomain] = None,
+    ):
+        self.plan = plan
+        self.sample_rate_hz = float(sample_rate_hz)
+        self.sync = sync if sync is not None else SyncDomain(plan.n_antennas)
+        if self.sync.n_radios != plan.n_antennas:
+            raise ConfigurationError(
+                f"sync domain has {self.sync.n_radios} radios but the plan "
+                f"needs {plan.n_antennas}"
+            )
+        self._rng = rng
+        self.radios: List[SoftwareRadio] = []
+        for index, offset in enumerate(plan.offsets_hz):
+            chain = TransmitChain(
+                carrier_frequency_hz=plan.center_frequency_hz,
+                rng=rng,
+                offset_hz=float(offset),
+                tx_power_dbm=tx_power_dbm,
+                sample_rate_hz=sample_rate_hz,
+            )
+            self.radios.append(SoftwareRadio(name=f"usrp-{index}", chain=chain))
+
+    @property
+    def n_radios(self) -> int:
+        return len(self.radios)
+
+    def relock_all(self) -> None:
+        """Re-acquire every PLL: fresh random initial phases (new trial)."""
+        for radio in self.radios:
+            radio.chain.oscillator.relock()
+            radio.chain.synthesizer.reset()
+
+    def eirp_per_branch_watts(self) -> np.ndarray:
+        """EIRP of each branch after PA compression."""
+        return np.array([radio.chain.eirp_watts() for radio in self.radios])
+
+    def synchronized_transmit(
+        self, envelope: np.ndarray, apply_trigger_jitter: bool = True
+    ) -> np.ndarray:
+        """All radios transmit the same envelope at the same trigger.
+
+        Returns:
+            Complex array of shape (n_radios, n_samples). Trigger jitter is
+            realized as a per-radio sub-sample time shift applied to the
+            envelope (a circular shift of whole samples for the integer
+            part; the sub-sample part is negligible at command bandwidths).
+        """
+        envelope = np.asarray(envelope, dtype=float)
+        streams = np.empty((self.n_radios, envelope.size), dtype=complex)
+        offsets_s = (
+            self.sync.trigger_offsets(self._rng)
+            if apply_trigger_jitter
+            else np.zeros(self.n_radios)
+        )
+        for index, radio in enumerate(self.radios):
+            shift_samples = int(round(offsets_s[index] * self.sample_rate_hz))
+            shifted = (
+                np.roll(envelope, shift_samples) if shift_samples else envelope
+            )
+            streams[index] = radio.transmit(shifted)
+        return streams

@@ -1,0 +1,100 @@
+"""Synchronization: the Octoclock reference distribution (Section 5).
+
+All USRPs share a 10 MHz reference and a PPS pulse. The reference pins
+their frequencies exactly (no drift between radios); the PPS aligns their
+sample clocks to within a small residual jitter. CIB needs this *timing*
+coherence -- the commands must overlap at the sensor -- but deliberately
+does not need *phase* coherence.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.constants import REFERENCE_CLOCK_HZ
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ReferenceClock:
+    """A distributed frequency reference.
+
+    Attributes:
+        frequency_hz: Nominal reference frequency (10 MHz Octoclock).
+        fractional_error: Frequency error of the house reference itself;
+            common to all radios, so it does not perturb their offsets.
+    """
+
+    frequency_hz: float = REFERENCE_CLOCK_HZ
+    fractional_error: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigurationError(
+                f"reference frequency must be positive, got {self.frequency_hz}"
+            )
+
+    def actual_frequency_hz(self) -> float:
+        return self.frequency_hz * (1.0 + self.fractional_error)
+
+    def rf_frequency_hz(self, nominal_rf_hz: float) -> float:
+        """RF carrier produced from this reference for a nominal target."""
+        if nominal_rf_hz <= 0:
+            raise ValueError(f"RF frequency must be positive, got {nominal_rf_hz}")
+        return nominal_rf_hz * (1.0 + self.fractional_error)
+
+
+class SyncDomain:
+    """A PPS-aligned trigger domain across multiple radios.
+
+    Args:
+        n_radios: Number of radios sharing the domain.
+        trigger_jitter_std_s: Residual per-radio trigger error (one sample
+            period or less on a real N210; ~100 ns default).
+        reference: The shared frequency reference.
+    """
+
+    def __init__(
+        self,
+        n_radios: int,
+        trigger_jitter_std_s: float = 100e-9,
+        reference: ReferenceClock = ReferenceClock(),
+    ):
+        if n_radios < 1:
+            raise ConfigurationError(f"need at least one radio, got {n_radios}")
+        if trigger_jitter_std_s < 0:
+            raise ConfigurationError(
+                f"trigger jitter must be >= 0, got {trigger_jitter_std_s}"
+            )
+        self.n_radios = int(n_radios)
+        self.trigger_jitter_std_s = float(trigger_jitter_std_s)
+        self.reference = reference
+
+    def trigger_offsets(self, rng: np.random.Generator) -> np.ndarray:
+        """Per-radio trigger-time errors for one synchronized transmission."""
+        if self.trigger_jitter_std_s == 0:
+            return np.zeros(self.n_radios)
+        return rng.normal(0.0, self.trigger_jitter_std_s, size=self.n_radios)
+
+    def worst_case_skew_s(self, rng: np.random.Generator) -> float:
+        """Spread between the earliest and latest radio in one trigger."""
+        offsets = self.trigger_offsets(rng)
+        return float(np.max(offsets) - np.min(offsets))
+
+    def command_overlap_fraction(
+        self, command_duration_s: float, rng: np.random.Generator
+    ) -> float:
+        """Fraction of a command during which all radios transmit together.
+
+        The backscatter sensor decodes the common envelope, so the usable
+        command portion is the overlap window. With ~100 ns jitter against
+        an 800 us query this is essentially 1.0 -- the check exists to
+        catch misconfigured domains.
+        """
+        if command_duration_s <= 0:
+            raise ValueError(
+                f"command duration must be positive, got {command_duration_s}"
+            )
+        skew = self.worst_case_skew_s(rng)
+        return max(0.0, 1.0 - skew / command_duration_s)

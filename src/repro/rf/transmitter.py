@@ -1,0 +1,100 @@
+"""Transmit chain: oscillator -> modulator -> PA -> antenna.
+
+One :class:`TransmitChain` corresponds to one USRP + HMC453 + MT-242025
+branch of the prototype. The chain produces calibrated complex baseband
+samples plus the EIRP bookkeeping the propagation model needs.
+"""
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.stats import dbm_to_watts, watts_to_dbm
+from repro.errors import ConfigurationError
+from repro.rf.amplifier import PowerAmplifier
+from repro.rf.antenna import MT242025_PANEL, Antenna
+from repro.rf.oscillator import Oscillator, SoftOffsetSynthesizer
+
+
+class TransmitChain:
+    """A single transmit branch.
+
+    Args:
+        carrier_frequency_hz: RF carrier of this branch (center + offset).
+        offset_hz: Soft-coded baseband offset (Sec. 5); the RF synthesizer
+            is tuned to the common center and the offset is applied in
+            baseband, exactly as the prototype does.
+        tx_power_dbm: Requested output power (clamped by the PA model).
+        rng: Source of oscillator randomness.
+        sample_rate_hz: Baseband sample rate.
+        amplifier: PA model; default HMC453-like.
+        antenna: Radiating element; default the 7 dBi RHCP panel.
+    """
+
+    def __init__(
+        self,
+        carrier_frequency_hz: float,
+        rng: np.random.Generator,
+        offset_hz: float = 0.0,
+        tx_power_dbm: float = 30.0,
+        sample_rate_hz: float = 1e6,
+        amplifier: Optional[PowerAmplifier] = None,
+        antenna: Antenna = MT242025_PANEL,
+    ):
+        if carrier_frequency_hz <= 0:
+            raise ConfigurationError("carrier frequency must be positive")
+        self.carrier_frequency_hz = float(carrier_frequency_hz)
+        self.offset_hz = float(offset_hz)
+        self.tx_power_dbm = float(tx_power_dbm)
+        self.sample_rate_hz = float(sample_rate_hz)
+        self.amplifier = amplifier if amplifier is not None else PowerAmplifier()
+        self.antenna = antenna
+        self.oscillator = Oscillator(carrier_frequency_hz, rng)
+        self.synthesizer = SoftOffsetSynthesizer(offset_hz, sample_rate_hz)
+
+    @property
+    def rf_frequency_hz(self) -> float:
+        """Actual radiated carrier: synthesizer center plus soft offset."""
+        return self.carrier_frequency_hz + self.offset_hz
+
+    def output_amplitude_v(self) -> float:
+        """Peak output amplitude for the requested power (50-ohm basis)."""
+        power_watts = dbm_to_watts(self.tx_power_dbm)
+        return math.sqrt(2.0 * power_watts * self.amplifier.load_ohms)
+
+    def eirp_watts(self) -> float:
+        """Effective isotropic radiated power of this branch."""
+        drive = self.output_amplitude_v() / 10.0 ** (
+            self.amplifier.gain_db / 20.0
+        )
+        out = self.amplifier.amplify(np.array([complex(drive, 0.0)]))
+        amplitude = float(np.abs(out[0]))
+        power_watts = amplitude**2 / (2.0 * self.amplifier.load_ohms)
+        return power_watts * self.antenna.gain_linear
+
+    def eirp_dbm(self) -> float:
+        return watts_to_dbm(self.eirp_watts())
+
+    def transmit(self, envelope: np.ndarray) -> np.ndarray:
+        """Produce baseband samples for a command envelope in [0, 1].
+
+        The samples include the soft-coded offset rotation, the random
+        oscillator phase, and PA compression; their scale is volts at the
+        antenna port.
+        """
+        envelope = np.asarray(envelope, dtype=float)
+        if envelope.ndim != 1 or envelope.size == 0:
+            raise ValueError("envelope must be a non-empty 1-D array")
+        if np.any(envelope < 0):
+            raise ValueError("envelope amplitudes must be non-negative")
+        drive_amplitude = self.output_amplitude_v() / 10.0 ** (
+            self.amplifier.gain_db / 20.0
+        )
+        baseband = (
+            drive_amplitude
+            * envelope.astype(complex)
+            * np.exp(1j * self.oscillator.initial_phase_rad)
+        )
+        baseband = self.synthesizer.rotate(baseband)
+        return self.amplifier.amplify(baseband)

@@ -1,0 +1,12 @@
+"""Battery-free sensors: tag specs and the complete sensor endpoint."""
+
+from repro.sensors.tags import TagSpec, miniature_tag_spec, standard_tag_spec
+from repro.sensors.sensor import BatteryFreeSensor, QueryDecodeOutcome
+
+__all__ = [
+    "TagSpec",
+    "miniature_tag_spec",
+    "standard_tag_spec",
+    "BatteryFreeSensor",
+    "QueryDecodeOutcome",
+]

@@ -1,0 +1,40 @@
+"""Tests for repro.analysis.calibration."""
+
+import pytest
+
+from repro.analysis.calibration import bisect_increasing, calibrate_scalar
+from repro.errors import CalibrationError
+
+
+class TestBisectIncreasing:
+    def test_finds_boundary(self):
+        # Predicate true below 3.7.
+        boundary = bisect_increasing(lambda x: x <= 3.7, 0.1, 10.0, 1e-4)
+        assert boundary == pytest.approx(3.7, abs=1e-3)
+
+    def test_true_everywhere_returns_high(self):
+        assert bisect_increasing(lambda x: True, 0.0001, 5.0, 1e-3) == 5.0
+
+    def test_false_at_low_raises(self):
+        with pytest.raises(CalibrationError):
+            bisect_increasing(lambda x: False, 0.1, 1.0, 1e-3)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            bisect_increasing(lambda x: True, 2.0, 1.0, 1e-3)
+        with pytest.raises(ValueError):
+            bisect_increasing(lambda x: True, 1.0, 2.0, 0.0)
+
+
+class TestCalibrateScalar:
+    def test_linear_objective(self):
+        solution = calibrate_scalar(lambda x: 2.0 * x, target=10.0, low=0.0, high=20.0)
+        assert solution == pytest.approx(5.0, abs=1e-2)
+
+    def test_nonlinear_objective(self):
+        solution = calibrate_scalar(lambda x: x**2, target=9.0, low=0.0, high=10.0)
+        assert solution == pytest.approx(3.0, abs=1e-2)
+
+    def test_unbracketed_raises(self):
+        with pytest.raises(CalibrationError):
+            calibrate_scalar(lambda x: x, target=100.0, low=0.0, high=1.0)

@@ -1,0 +1,63 @@
+"""Tests for repro.analysis.mc."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.mc import TrialRunner, mean_and_confidence, spawn_rngs
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+        assert spawn_rngs(0, 0) == []
+
+    def test_deterministic(self):
+        first = [rng.uniform() for rng in spawn_rngs(42, 4)]
+        second = [rng.uniform() for rng in spawn_rngs(42, 4)]
+        assert first == second
+
+    def test_independent_streams(self):
+        values = [rng.uniform() for rng in spawn_rngs(42, 8)]
+        assert len(set(values)) == 8
+
+    def test_different_seeds_differ(self):
+        a = [rng.uniform() for rng in spawn_rngs(1, 3)]
+        b = [rng.uniform() for rng in spawn_rngs(2, 3)]
+        assert a != b
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestTrialRunner:
+    def test_run_reproducible(self):
+        runner = TrialRunner(seed=7)
+        first = runner.run(lambda rng: rng.normal(), 10)
+        second = TrialRunner(seed=7).run(lambda rng: rng.normal(), 10)
+        assert first == second
+
+    def test_run_indexed(self):
+        runner = TrialRunner(seed=7)
+        results = runner.run_indexed(lambda i, rng: i, 5)
+        assert results == [0, 1, 2, 3, 4]
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            TrialRunner(seed=0).run(lambda rng: 1, 0)
+
+
+class TestMeanConfidence:
+    def test_mean(self):
+        mean, half = mean_and_confidence([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert half > 0
+
+    def test_single_sample_infinite_interval(self):
+        mean, half = mean_and_confidence([5.0])
+        assert mean == 5.0
+        assert half == float("inf")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_and_confidence([])

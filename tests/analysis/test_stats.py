@@ -1,0 +1,78 @@
+"""Tests for repro.analysis.stats."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    PercentileSummary,
+    cdf_at,
+    dbm_to_watts,
+    empirical_cdf,
+    from_db,
+    percentile_summary,
+    to_db,
+    watts_to_dbm,
+)
+
+
+class TestPercentileSummary:
+    def test_known_values(self):
+        summary = percentile_summary(list(range(1, 101)))
+        assert summary.median == pytest.approx(50.5)
+        assert summary.p10 < summary.median < summary.p90
+        assert summary.n_samples == 100
+
+    def test_single_sample(self):
+        summary = percentile_summary([3.0])
+        assert summary.median == summary.p10 == summary.p90 == 3.0
+
+    def test_as_row_order(self):
+        summary = PercentileSummary(median=2.0, p10=1.0, p90=3.0, n_samples=5)
+        assert summary.as_row() == (1.0, 2.0, 3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile_summary([])
+
+
+class TestEmpiricalCdf:
+    def test_monotone_and_bounded(self):
+        values, fractions = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert fractions[0] == pytest.approx(1 / 3)
+        assert fractions[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(fractions) > 0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+    def test_cdf_at(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert cdf_at(samples, 2.5) == pytest.approx(0.5)
+        assert cdf_at(samples, 0.0) == 0.0
+        assert cdf_at(samples, 10.0) == 1.0
+
+
+class TestDbConversions:
+    def test_roundtrip(self):
+        for ratio in (0.5, 1.0, 2.0, 100.0):
+            assert from_db(to_db(ratio)) == pytest.approx(ratio)
+
+    def test_known_points(self):
+        assert to_db(10.0) == pytest.approx(10.0)
+        assert to_db(1.0) == pytest.approx(0.0)
+        assert from_db(3.0) == pytest.approx(1.995, abs=0.01)
+
+    def test_dbm(self):
+        assert dbm_to_watts(30.0) == pytest.approx(1.0)
+        assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+        assert watts_to_dbm(1.0) == pytest.approx(30.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            to_db(0.0)
+        with pytest.raises(ValueError):
+            to_db(-1.0)
+        with pytest.raises(ValueError):
+            watts_to_dbm(0.0)

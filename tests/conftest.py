@@ -1,0 +1,30 @@
+"""Shared fixtures for the IVN reproduction test suite."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Deterministic property testing: hypothesis draws the same examples every
+# run, so suite results are exactly reproducible.
+settings.register_profile(
+    "deterministic",
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("deterministic")
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests that need randomness."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def rng_factory():
+    """Factory producing independent, seeded generators."""
+
+    def make(seed: int = 0):
+        return np.random.default_rng(seed)
+
+    return make

@@ -1,0 +1,153 @@
+"""Tests for repro.core.baselines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    BeamsteeringTransmitter,
+    BlindSameFrequencyTransmitter,
+    CIBTransmitter,
+    OracleMRTTransmitter,
+    SingleAntennaTransmitter,
+    peak_power_gain,
+)
+from repro.core.plan import paper_plan
+from repro.em.channel import ChannelRealization
+from repro.errors import ConfigurationError
+
+
+def equal_gain_realization(n=10, amplitude=1.0, rng=None):
+    rng = rng if rng is not None else np.random.default_rng(0)
+    phases = rng.uniform(0, 2 * math.pi, n)
+    return ChannelRealization(
+        gains=amplitude * np.exp(1j * phases), frequency_hz=915e6
+    )
+
+
+class TestSingleAntenna:
+    def test_uses_strongest_by_default(self, rng):
+        gains = np.array([0.5, 2.0, 1.0], dtype=complex)
+        realization = ChannelRealization(gains=gains, frequency_hz=915e6)
+        peak = SingleAntennaTransmitter().peak_amplitude(realization, rng)
+        assert peak == pytest.approx(2.0)
+
+    def test_pinned_index(self, rng):
+        gains = np.array([0.5, 2.0], dtype=complex)
+        realization = ChannelRealization(gains=gains, frequency_hz=915e6)
+        peak = SingleAntennaTransmitter(index=0).peak_amplitude(realization, rng)
+        assert peak == pytest.approx(0.5)
+
+
+class TestBlindBaseline:
+    def test_mean_power_is_sum_of_squares(self):
+        """E|sum h e^{j theta}|^2 = sum |h|^2: gain N from N-fold power."""
+        rng = np.random.default_rng(1)
+        realization = equal_gain_realization(10)
+        transmitter = BlindSameFrequencyTransmitter(10, residual_offset_std_hz=0)
+        powers = [
+            transmitter.peak_power(realization, rng) for _ in range(400)
+        ]
+        assert np.mean(powers) == pytest.approx(10.0, rel=0.15)
+
+    def test_no_time_variation_without_residual(self, rng):
+        realization = equal_gain_realization(5)
+        transmitter = BlindSameFrequencyTransmitter(5, residual_offset_std_hz=0)
+        envelope = transmitter.received_envelope(
+            realization, np.linspace(0, 1, 50), rng
+        )
+        assert np.ptp(envelope) == pytest.approx(0.0, abs=1e-12)
+
+    def test_residual_offsets_vary_envelope(self, rng):
+        realization = equal_gain_realization(5)
+        transmitter = BlindSameFrequencyTransmitter(5, residual_offset_std_hz=1.0)
+        envelope = transmitter.received_envelope(
+            realization, np.linspace(0, 2, 200), rng
+        )
+        assert np.ptp(envelope) > 0.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BlindSameFrequencyTransmitter(0)
+        with pytest.raises(ConfigurationError):
+            BlindSameFrequencyTransmitter(2, residual_offset_std_hz=-1)
+
+
+class TestBeamsteering:
+    def test_perfect_when_assumption_holds(self, rng):
+        phases = rng.uniform(0, 2 * math.pi, 6)
+        realization = ChannelRealization(
+            gains=np.exp(1j * phases), frequency_hz=915e6
+        )
+        steerer = BeamsteeringTransmitter(assumed_phases=phases)
+        assert steerer.peak_amplitude(realization, rng) == pytest.approx(6.0)
+
+    def test_fails_with_wrong_assumption(self):
+        rng = np.random.default_rng(3)
+        realization = equal_gain_realization(10, rng=rng)
+        steerer = BeamsteeringTransmitter(assumed_phases=np.zeros(10))
+        peaks = [
+            steerer.peak_amplitude(equal_gain_realization(10, rng=rng), rng)
+            for _ in range(100)
+        ]
+        assert np.mean(np.square(peaks)) < 25  # far from N^2 = 100
+
+
+class TestOracle:
+    def test_amplitude_sum(self, rng):
+        realization = equal_gain_realization(8)
+        oracle = OracleMRTTransmitter(8)
+        assert oracle.peak_amplitude(realization, rng) == pytest.approx(8.0)
+
+    def test_total_power_mode(self, rng):
+        realization = equal_gain_realization(4)
+        oracle = OracleMRTTransmitter(4, power_mode="total")
+        assert oracle.peak_amplitude(realization, rng) == pytest.approx(2.0)
+
+
+class TestCIB:
+    def test_peak_approaches_amplitude_sum(self):
+        """Over a full period the CIB peak comes close to sum |h_i| --
+        and never exceeds it."""
+        rng = np.random.default_rng(4)
+        realization = equal_gain_realization(10)
+        cib = CIBTransmitter(paper_plan())
+        peaks = [cib.peak_amplitude(realization, rng) for _ in range(20)]
+        assert max(peaks) <= 10.0 + 1e-9
+        assert np.median(peaks) > 6.5
+
+    def test_cib_beats_blind_baseline_usually(self):
+        """Fig. 12: CIB wins over the baseline in ~99% of draws."""
+        rng = np.random.default_rng(5)
+        cib = CIBTransmitter(paper_plan())
+        baseline = BlindSameFrequencyTransmitter(10)
+        wins = 0
+        trials = 60
+        for _ in range(trials):
+            realization = equal_gain_realization(10, rng=rng)
+            if cib.peak_power(realization, rng) > baseline.peak_power(
+                realization, rng
+            ):
+                wins += 1
+        assert wins / trials > 0.9
+
+    def test_equal_power_mode_scales(self, rng):
+        realization = equal_gain_realization(10)
+        full = CIBTransmitter(paper_plan())
+        scaled = CIBTransmitter(paper_plan(), power_mode="total")
+        ratio = scaled.peak_amplitude(realization, rng) / full.peak_amplitude(
+            realization, rng
+        )
+        assert ratio == pytest.approx(1 / math.sqrt(10), rel=0.25)
+
+
+class TestGainHelper:
+    def test_gain_relative_to_strongest(self, rng):
+        realization = equal_gain_realization(10)
+        gain = peak_power_gain(OracleMRTTransmitter(10), realization, rng)
+        assert gain == pytest.approx(100.0)
+
+    def test_invalid_power_mode(self):
+        with pytest.raises(ConfigurationError):
+            BlindSameFrequencyTransmitter(4, power_mode="half")

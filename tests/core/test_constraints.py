@@ -1,0 +1,92 @@
+"""Tests for repro.core.constraints (Section 3.6)."""
+
+import math
+
+import pytest
+
+from repro.constants import PAPER_DELTA_F_HZ
+from repro.core.constraints import (
+    FlatnessConstraint,
+    validate_cyclic,
+    validate_plan,
+)
+from repro.errors import ConstraintViolationError
+
+
+class TestFlatnessConstraint:
+    def test_paper_bound_199hz(self):
+        """alpha = 0.5, dt = 800 us -> RMS bound ~199 Hz (Sec. 3.6)."""
+        constraint = FlatnessConstraint(alpha=0.5, query_duration_s=800e-6)
+        assert constraint.max_rms_offset_hz == pytest.approx(199.0, abs=0.5)
+
+    def test_paper_set_satisfies(self):
+        assert FlatnessConstraint().satisfied_by(PAPER_DELTA_F_HZ)
+
+    def test_mean_square_formula(self):
+        constraint = FlatnessConstraint()
+        assert constraint.mean_square_offset((0.0, 10.0)) == pytest.approx(50.0)
+
+    def test_budget_shrinks_with_longer_query(self):
+        short = FlatnessConstraint(query_duration_s=400e-6)
+        long = FlatnessConstraint(query_duration_s=1600e-6)
+        assert long.max_rms_offset_hz < short.max_rms_offset_hz
+
+    def test_budget_grows_with_alpha(self):
+        tight = FlatnessConstraint(alpha=0.1)
+        loose = FlatnessConstraint(alpha=0.5)
+        assert loose.max_rms_offset_hz > tight.max_rms_offset_hz
+
+    def test_validate_raises_on_violation(self):
+        constraint = FlatnessConstraint()
+        bad = tuple(f * 40 for f in PAPER_DELTA_F_HZ)
+        with pytest.raises(ConstraintViolationError):
+            constraint.validate(bad)
+
+    def test_alpha_capped_at_half(self):
+        """The sensor slices at half the swing, so alpha <= 0.5."""
+        with pytest.raises(ConstraintViolationError):
+            FlatnessConstraint(alpha=0.6)
+        with pytest.raises(ConstraintViolationError):
+            FlatnessConstraint(alpha=0.0)
+
+    def test_predicted_fluctuation_formula(self):
+        constraint = FlatnessConstraint(alpha=0.5, query_duration_s=800e-6)
+        offsets = (0.0, 100.0)
+        predicted = constraint.predicted_peak_fluctuation(offsets)
+        expected = 2 * math.pi**2 * (800e-6) ** 2 * 5000.0
+        assert predicted == pytest.approx(expected)
+
+    def test_max_integer_offset(self):
+        constraint = FlatnessConstraint()
+        assert constraint.max_integer_offset_hz() == 198
+
+    def test_empty_offsets_raise(self):
+        with pytest.raises(ValueError):
+            FlatnessConstraint().mean_square_offset(())
+
+
+class TestCyclic:
+    def test_integer_offsets_pass(self):
+        validate_cyclic(PAPER_DELTA_F_HZ, period_s=1.0)
+
+    def test_fractional_offsets_fail(self):
+        with pytest.raises(ConstraintViolationError):
+            validate_cyclic((0.0, 7.3), period_s=1.0)
+
+    def test_matching_period_passes(self):
+        validate_cyclic((0.0, 7.5), period_s=2.0)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            validate_cyclic((0.0,), period_s=0.0)
+
+
+class TestValidatePlan:
+    def test_paper_plan_valid(self):
+        validate_plan(PAPER_DELTA_F_HZ, FlatnessConstraint())
+
+    def test_rejects_either_violation(self):
+        with pytest.raises(ConstraintViolationError):
+            validate_plan((0.0, 7.7), FlatnessConstraint())
+        with pytest.raises(ConstraintViolationError):
+            validate_plan((0.0, 5000.0), FlatnessConstraint())

@@ -1,0 +1,101 @@
+"""Tests for repro.core.discovery."""
+
+import numpy as np
+import pytest
+
+from repro.core.discovery import (
+    DiscoveryObservation,
+    DiscoveryProcedure,
+    DiscoveryOutcome,
+)
+from repro.core.plan import paper_plan
+from repro.core.scheduler import TwoStageController
+from repro.errors import ConfigurationError
+
+
+def always(responded, correlation=0.95, voltage=None):
+    def trial(period):
+        return DiscoveryObservation(
+            responded=responded,
+            correlation=correlation if responded else 0.0,
+            peak_input_voltage_v=voltage,
+        )
+
+    return trial
+
+
+class TestScan:
+    def test_finds_responsive_sensor_quickly(self):
+        procedure = DiscoveryProcedure(paper_plan())
+        outcome = procedure.scan(always(True), stop_after_responses=3)
+        assert outcome.found
+        assert outcome.periods_to_first_response == 1
+        assert len(outcome.observations) == 3
+        assert outcome.response_rate == 1.0
+
+    def test_gives_up_on_silent_sensor(self):
+        procedure = DiscoveryProcedure(paper_plan(), max_periods=10)
+        outcome = procedure.scan(always(False))
+        assert not outcome.found
+        assert outcome.periods_to_first_response is None
+        assert outcome.estimated_margin is None
+        assert len(outcome.observations) == 10
+
+    def test_intermittent_sensor(self):
+        def trial(period):
+            return DiscoveryObservation(responded=period % 3 == 0,
+                                        correlation=0.9)
+
+        procedure = DiscoveryProcedure(paper_plan(), max_periods=30)
+        outcome = procedure.scan(trial, stop_after_responses=4)
+        assert outcome.found
+        assert outcome.periods_to_first_response == 3
+        assert 0.2 <= outcome.response_rate <= 0.5
+
+    def test_margin_from_response_rate_ordering(self):
+        procedure = DiscoveryProcedure(paper_plan(), max_periods=20)
+        flaky = procedure.scan(
+            lambda p: DiscoveryObservation(responded=p % 4 == 0),
+            stop_after_responses=3,
+        )
+        solid = procedure.scan(always(True), stop_after_responses=3)
+        assert solid.estimated_margin > flaky.estimated_margin >= 1.0
+
+    def test_margin_refined_by_voltage_telemetry(self):
+        procedure = DiscoveryProcedure(
+            paper_plan(), threshold_voltage_v=0.75, max_periods=10
+        )
+        outcome = procedure.scan(
+            always(True, voltage=3.0), stop_after_responses=3
+        )
+        assert outcome.estimated_margin == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiscoveryProcedure(paper_plan(), max_periods=0)
+        with pytest.raises(ConfigurationError):
+            DiscoveryProcedure(paper_plan(), threshold_voltage_v=0.0)
+        with pytest.raises(ValueError):
+            DiscoveryProcedure(paper_plan()).scan(
+                always(True), stop_after_responses=0
+            )
+
+
+class TestTwoStageIntegration:
+    def test_found_sensor_switches_controller(self):
+        controller = TwoStageController(paper_plan())
+        procedure = DiscoveryProcedure(
+            paper_plan(), threshold_voltage_v=0.75
+        )
+        outcome = procedure.drive_two_stage(
+            controller, always(True, voltage=3.0), stop_after_responses=3
+        )
+        assert outcome.found
+        assert controller.stage == "steady"
+
+    def test_silent_sensor_keeps_discovery(self):
+        controller = TwoStageController(paper_plan())
+        procedure = DiscoveryProcedure(paper_plan(), max_periods=5)
+        outcome = procedure.drive_two_stage(controller, always(False))
+        assert not outcome.found
+        assert controller.stage == "discovery"

@@ -1,0 +1,99 @@
+"""Tests for repro.core.multisensor (Section 3.7)."""
+
+import pytest
+
+from repro.core.multisensor import MultiSensorScheduler, SensorDescriptor
+from repro.core.plan import CarrierPlan, paper_plan
+from repro.errors import ConfigurationError
+
+
+def make_sensors(count=3, id_bits=16):
+    return [
+        SensorDescriptor(
+            sensor_id=tuple((i >> shift) & 1 for shift in range(id_bits)),
+            label=f"sensor-{i}",
+        )
+        for i in range(count)
+    ]
+
+
+class TestSensorDescriptor:
+    def test_valid(self):
+        descriptor = SensorDescriptor(sensor_id=(1, 0, 1))
+        assert descriptor.sensor_id == (1, 0, 1)
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorDescriptor(sensor_id=())
+
+    def test_non_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorDescriptor(sensor_id=(1, 2))
+
+
+class TestScheduler:
+    def test_select_elongates_query(self):
+        scheduler = MultiSensorScheduler(
+            paper_plan(), make_sensors(2, id_bits=32),
+            base_query_duration_s=800e-6, select_bit_duration_s=25e-6,
+        )
+        assert scheduler.effective_query_duration_s() == pytest.approx(
+            800e-6 + 32 * 25e-6
+        )
+
+    def test_longer_query_tightens_budget(self):
+        short = MultiSensorScheduler(paper_plan(), make_sensors(2, id_bits=8))
+        long = MultiSensorScheduler(paper_plan(), make_sensors(2, id_bits=96))
+        assert (
+            long.required_constraint().max_rms_offset_hz
+            < short.required_constraint().max_rms_offset_hz
+        )
+
+    def test_paper_plan_tolerates_moderate_selects(self):
+        scheduler = MultiSensorScheduler(paper_plan(), make_sensors(4, id_bits=32))
+        assert scheduler.plan_is_compatible()
+        scheduler.validate()
+
+    def test_incompatible_plan_detected(self):
+        wide = CarrierPlan(offsets_hz=(0.0, 150.0, 300.0, 450.0))
+        scheduler = MultiSensorScheduler(
+            wide,
+            make_sensors(2, id_bits=96),
+            base_query_duration_s=1.2e-3,
+            select_bit_duration_s=25e-6,
+        )
+        assert not scheduler.plan_is_compatible()
+        with pytest.raises(Exception):
+            scheduler.validate()
+
+    def test_round_robin_covers_all(self):
+        sensors = make_sensors(3)
+        scheduler = MultiSensorScheduler(paper_plan(), sensors)
+        schedule = scheduler.schedule(9)
+        served = [descriptor.label for _, descriptor in schedule]
+        assert served.count("sensor-0") == 3
+        assert served.count("sensor-1") == 3
+        assert served.count("sensor-2") == 3
+
+    def test_response_period_scales_with_population(self):
+        scheduler = MultiSensorScheduler(paper_plan(), make_sensors(5))
+        assert scheduler.per_sensor_response_period_s(1.0) == 5.0
+
+    def test_duplicate_labels_rejected(self):
+        sensors = [
+            SensorDescriptor(sensor_id=(1,), label="dup"),
+            SensorDescriptor(sensor_id=(0,), label="dup"),
+        ]
+        with pytest.raises(ConfigurationError):
+            MultiSensorScheduler(paper_plan(), sensors)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiSensorScheduler(paper_plan(), [])
+
+    def test_invalid_schedule_args(self):
+        scheduler = MultiSensorScheduler(paper_plan(), make_sensors(1))
+        with pytest.raises(ValueError):
+            scheduler.schedule(0)
+        with pytest.raises(ValueError):
+            scheduler.per_sensor_response_period_s(0)

@@ -1,0 +1,141 @@
+"""Tests for repro.core.optimizer (Eq. 10)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import waveform
+from repro.core.constraints import FlatnessConstraint
+from repro.core.optimizer import (
+    FrequencyOptimizer,
+    peak_amplitudes_fft,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFftEvaluation:
+    def test_matches_direct_evaluation(self, rng):
+        offsets = (0, 7, 20, 49, 68)
+        betas = rng.uniform(0, 2 * math.pi, (5, 5))
+        fft_peaks = peak_amplitudes_fft(offsets, betas, grid_size=16384)
+        t = np.linspace(0, 1, 16384, endpoint=False)
+        for index in range(5):
+            y = waveform.envelope(np.array(offsets, float), betas[index], t)
+            assert fft_peaks[index] == pytest.approx(np.max(y), rel=1e-9)
+
+    def test_aligned_betas_give_n(self):
+        peaks = peak_amplitudes_fft((0, 3, 9), np.zeros((1, 3)))
+        assert peaks[0] == pytest.approx(3.0, rel=1e-6)
+
+    def test_rejects_fractional_offsets(self):
+        with pytest.raises(ValueError):
+            peak_amplitudes_fft((0, 7.5), np.zeros((1, 2)))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            peak_amplitudes_fft((0, 5000), np.zeros((1, 2)), grid_size=1024)
+
+
+class TestCandidates:
+    def test_feasibility_rules(self):
+        optimizer = FrequencyOptimizer(5, seed=0)
+        assert optimizer.is_feasible((0, 7, 20, 49, 68))
+        assert not optimizer.is_feasible((7, 20, 49, 68, 90))  # no reference 0
+        assert not optimizer.is_feasible((0, 7, 7, 49, 68))  # duplicate
+        assert not optimizer.is_feasible((0, 7, 20, 49))  # wrong size
+
+    def test_random_candidates_are_feasible(self):
+        optimizer = FrequencyOptimizer(8, seed=1)
+        for _ in range(20):
+            candidate = optimizer.random_candidate()
+            assert optimizer.is_feasible(candidate)
+
+    def test_max_single_offset_respects_budget(self):
+        optimizer = FrequencyOptimizer(5, seed=0)
+        bound = optimizer.max_single_offset()
+        budget = 5 * FlatnessConstraint().max_mean_square_offset_hz2
+        assert bound**2 <= budget
+        assert (bound + 2) ** 2 > budget
+
+
+class TestOptimize:
+    def test_single_antenna_trivial(self):
+        result = FrequencyOptimizer(1, seed=0).optimize()
+        assert result.plan.offsets_hz == (0.0,)
+        assert result.expected_peak == 1.0
+
+    def test_result_satisfies_constraints(self):
+        optimizer = FrequencyOptimizer(5, seed=2, n_draws=16)
+        result = optimizer.optimize(n_candidates=20, refine_rounds=1)
+        assert FlatnessConstraint().satisfied_by(result.plan.offsets_hz)
+        assert result.plan.is_cyclic(1.0)
+
+    def test_optimized_beats_typical_random(self):
+        optimizer = FrequencyOptimizer(5, seed=3, n_draws=32)
+        result = optimizer.optimize(n_candidates=40, refine_rounds=1)
+        random_values = [
+            optimizer.objective(optimizer.random_candidate()) for _ in range(10)
+        ]
+        assert result.expected_peak >= np.median(random_values)
+
+    def test_normalized_peak_close_to_one(self):
+        """A decent 5-antenna search should exceed 90% of the ideal N."""
+        optimizer = FrequencyOptimizer(5, seed=4, n_draws=32)
+        result = optimizer.optimize(n_candidates=60, refine_rounds=1)
+        assert result.normalized_peak > 0.9
+
+    def test_history_monotone(self):
+        optimizer = FrequencyOptimizer(4, seed=5, n_draws=16)
+        result = optimizer.optimize(n_candidates=30)
+        assert list(result.history) == sorted(result.history)
+
+    def test_power_gain_property(self):
+        optimizer = FrequencyOptimizer(3, seed=6, n_draws=16)
+        result = optimizer.optimize(n_candidates=10)
+        assert result.expected_peak_power_gain == pytest.approx(
+            result.expected_peak**2
+        )
+
+
+class TestRankRandomSets:
+    def test_best_at_least_worst(self):
+        optimizer = FrequencyOptimizer(5, seed=7, n_draws=24)
+        (best, best_value), (worst, worst_value) = optimizer.rank_random_sets(15)
+        assert best_value >= worst_value
+        assert optimizer.is_feasible(best)
+        assert optimizer.is_feasible(worst)
+
+    def test_needs_two_sets(self):
+        with pytest.raises(ValueError):
+            FrequencyOptimizer(5, seed=0).rank_random_sets(1)
+
+
+class TestConductionObjective:
+    def test_threshold_zero_is_full(self):
+        optimizer = FrequencyOptimizer(5, seed=8, n_draws=8)
+        value = optimizer.conduction_objective((0, 7, 20, 49, 68), 0.0)
+        assert value == pytest.approx(1.0)
+
+    def test_threshold_above_n_is_zero(self):
+        optimizer = FrequencyOptimizer(5, seed=8, n_draws=8)
+        assert optimizer.conduction_objective((0, 7, 20, 49, 68), 6.0) == 0.0
+
+    def test_optimize_conduction_feasible(self):
+        optimizer = FrequencyOptimizer(5, seed=9, n_draws=16)
+        result = optimizer.optimize_conduction(2.0, n_candidates=15)
+        assert FlatnessConstraint().satisfied_by(result.plan.offsets_hz)
+        assert 0.0 <= result.expected_peak <= 1.0
+
+    def test_invalid_threshold(self):
+        optimizer = FrequencyOptimizer(5, seed=0)
+        with pytest.raises(ValueError):
+            optimizer.conduction_objective((0, 7, 20, 49, 68), -1.0)
+
+
+class TestValidation:
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyOptimizer(0)
+        with pytest.raises(ConfigurationError):
+            FrequencyOptimizer(5, n_draws=0)

@@ -1,0 +1,86 @@
+"""Tests for repro.core.plan."""
+
+import numpy as np
+import pytest
+
+from repro.constants import PAPER_DELTA_F_HZ
+from repro.core.plan import CarrierPlan, paper_plan, single_antenna_plan
+from repro.errors import ConfigurationError
+
+
+class TestCarrierPlan:
+    def test_paper_plan_offsets(self):
+        plan = paper_plan()
+        assert plan.offsets_hz == PAPER_DELTA_F_HZ
+        assert plan.n_antennas == 10
+        assert plan.center_frequency_hz == 915e6
+
+    def test_paper_rms_matches_section_3_6(self):
+        """The published set's RMS offset is ~82 Hz, well under 199 Hz."""
+        assert paper_plan().rms_offset_hz() == pytest.approx(81.9, abs=0.5)
+
+    def test_frequencies_absolute(self):
+        plan = CarrierPlan(offsets_hz=(0.0, 7.0))
+        assert list(plan.frequencies_hz()) == [915e6, 915e6 + 7.0]
+
+    def test_is_cyclic_integer_offsets(self):
+        assert paper_plan().is_cyclic(1.0)
+
+    def test_is_not_cyclic_fractional(self):
+        plan = CarrierPlan(offsets_hz=(0.0, 7.5))
+        assert not plan.is_cyclic(1.0)
+        assert plan.is_cyclic(2.0)
+
+    def test_subset(self):
+        plan = paper_plan().subset(3)
+        assert plan.offsets_hz == (0.0, 7.0, 20.0)
+
+    def test_subset_bounds(self):
+        with pytest.raises(ValueError):
+            paper_plan().subset(0)
+        with pytest.raises(ValueError):
+            paper_plan().subset(11)
+
+    def test_default_amplitudes_are_ones(self):
+        assert np.allclose(paper_plan().amplitudes_array(), 1.0)
+
+    def test_equal_power_amplitudes(self):
+        plan = paper_plan().equal_power_amplitudes()
+        assert np.allclose(plan.amplitudes_array(), 1 / np.sqrt(10))
+        # Total radiated power equals one unit antenna.
+        assert np.sum(plan.amplitudes_array() ** 2) == pytest.approx(1.0)
+
+    def test_with_amplitudes(self):
+        plan = paper_plan().subset(2).with_amplitudes([2.0, 3.0])
+        assert plan.amplitudes == (2.0, 3.0)
+
+    def test_single_antenna_plan(self):
+        plan = single_antenna_plan()
+        assert plan.n_antennas == 1
+        assert plan.max_offset_hz() == 0.0
+
+
+class TestValidation:
+    def test_duplicate_offsets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CarrierPlan(offsets_hz=(0.0, 7.0, 7.0))
+
+    def test_negative_offsets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CarrierPlan(offsets_hz=(0.0, -5.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CarrierPlan(offsets_hz=())
+
+    def test_amplitude_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            CarrierPlan(offsets_hz=(0.0, 7.0), amplitudes=(1.0,))
+
+    def test_nonpositive_amplitudes(self):
+        with pytest.raises(ConfigurationError):
+            CarrierPlan(offsets_hz=(0.0, 7.0), amplitudes=(1.0, 0.0))
+
+    def test_nonpositive_center(self):
+        with pytest.raises(ConfigurationError):
+            CarrierPlan(center_frequency_hz=0.0, offsets_hz=(0.0,))

@@ -1,0 +1,108 @@
+"""Tests for repro.core.scheduler (Section 3.7)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.plan import CarrierPlan, paper_plan
+from repro.core.scheduler import (
+    DutyCycleScheduler,
+    QueryWindow,
+    TwoStageController,
+)
+from repro.errors import ConfigurationError
+
+
+class TestDutyCycleScheduler:
+    def test_peak_time_zero_for_aligned(self):
+        scheduler = DutyCycleScheduler(paper_plan())
+        assert scheduler.peak_time(np.zeros(10)) == pytest.approx(0.0, abs=1e-3)
+
+    def test_schedule_one_window_per_period(self, rng):
+        scheduler = DutyCycleScheduler(paper_plan())
+        betas = rng.uniform(0, 2 * math.pi, 10)
+        windows = scheduler.schedule(betas, n_periods=5)
+        assert len(windows) == 5
+        starts = [w.start_s for w in windows]
+        # Consecutive windows are exactly one period apart.
+        diffs = np.diff(starts)
+        assert np.allclose(diffs, 1.0)
+
+    def test_window_duration(self, rng):
+        scheduler = DutyCycleScheduler(paper_plan(), query_duration_s=800e-6)
+        windows = scheduler.schedule(rng.uniform(0, 2 * math.pi, 10), 1)
+        assert windows[0].duration_s == 800e-6
+        assert windows[0].end_s == windows[0].start_s + 800e-6
+
+    def test_duty_fraction_monotone(self, rng):
+        scheduler = DutyCycleScheduler(paper_plan())
+        betas = rng.uniform(0, 2 * math.pi, 10)
+        low = scheduler.duty_fraction(betas, threshold=2.0)
+        high = scheduler.duty_fraction(betas, threshold=8.0)
+        assert low >= high
+
+    def test_requires_cyclic_plan(self):
+        plan = CarrierPlan(offsets_hz=(0.0, 7.5))
+        with pytest.raises(ConfigurationError):
+            DutyCycleScheduler(plan)
+
+    def test_invalid_durations(self):
+        with pytest.raises(ConfigurationError):
+            DutyCycleScheduler(paper_plan(), period_s=0.0)
+        with pytest.raises(ConfigurationError):
+            DutyCycleScheduler(paper_plan(), query_duration_s=2.0)
+
+
+class TestTwoStageController:
+    def test_starts_in_discovery(self):
+        controller = TwoStageController(paper_plan())
+        assert controller.stage == "discovery"
+        assert controller.active_plan is paper_plan() or (
+            controller.active_plan.offsets_hz == paper_plan().offsets_hz
+        )
+
+    def test_no_transition_below_threshold(self):
+        controller = TwoStageController(paper_plan())
+        assert not controller.observe_response(0.5, threshold=1.0)
+        assert controller.stage == "discovery"
+
+    def test_transition_records_margin(self):
+        controller = TwoStageController(paper_plan())
+        assert controller.observe_response(4.0, threshold=1.0)
+        assert controller.stage == "steady"
+        steady = controller.active_plan
+        assert steady.is_cyclic(1.0)
+
+    def test_steady_plan_feasible(self):
+        controller = TwoStageController(paper_plan())
+        steady = controller.steady_plan(margin=4.0)
+        assert controller.constraint.satisfied_by(steady.offsets_hz)
+        assert len(set(steady.offsets_hz)) == len(steady.offsets_hz)
+
+    def test_steady_plan_cached(self):
+        controller = TwoStageController(paper_plan())
+        first = controller.steady_plan(margin=4.0)
+        second = controller.steady_plan(margin=4.0)
+        assert first is second
+
+    def test_margin_below_one_rejected(self):
+        controller = TwoStageController(paper_plan())
+        with pytest.raises(ValueError):
+            controller.steady_plan(margin=0.5)
+
+    def test_conduction_improvement_not_worse(self, rng):
+        """The steady plan was optimized for conduction at its threshold;
+        it should be at least comparable to the discovery plan."""
+        controller = TwoStageController(paper_plan())
+        discovery, steady = controller.conduction_improvement(
+            margin=4.0, threshold_fraction=0.2, rng=rng, n_draws=8
+        )
+        assert steady >= 0.9 * discovery
+
+    def test_invalid_threshold(self, rng):
+        controller = TwoStageController(paper_plan())
+        with pytest.raises(ValueError):
+            controller.conduction_improvement(2.0, 1.5, rng)
+        with pytest.raises(ValueError):
+            controller.observe_response(1.0, threshold=0.0)

@@ -1,0 +1,169 @@
+"""Tests for repro.em.channel."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.em import media
+from repro.em.channel import (
+    BlindChannel,
+    ChannelRealization,
+    arc_array_distances,
+    linear_array_distances,
+)
+from repro.em.layers import uniform_path
+from repro.errors import ConfigurationError
+
+F = 915e6
+
+
+def make_channel(**overrides):
+    defaults = dict(
+        air_distances_m=np.array([0.5, 0.55, 0.6]),
+        tissue_path=uniform_path(media.WATER, 0.05),
+        frequency_hz=F,
+    )
+    defaults.update(overrides)
+    return BlindChannel(**defaults)
+
+
+class TestGeometry:
+    def test_linear_distances_symmetric(self):
+        distances = linear_array_distances(0.5, 5, 0.1)
+        assert distances[0] == pytest.approx(distances[-1])
+        assert np.min(distances) == pytest.approx(0.5)
+
+    def test_linear_single_antenna(self):
+        assert linear_array_distances(0.5, 1)[0] == pytest.approx(0.5)
+
+    def test_arc_equidistant_without_rng(self):
+        distances = arc_array_distances(0.7, 6)
+        assert np.allclose(distances, 0.7)
+
+    def test_arc_jitter_bounded(self, rng):
+        distances = arc_array_distances(0.7, 100, jitter_fraction=0.02, rng=rng)
+        assert np.all(np.abs(distances - 0.7) <= 0.7 * 0.02 + 1e-12)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            linear_array_distances(0.0, 3)
+        with pytest.raises(ValueError):
+            arc_array_distances(1.0, 0)
+
+
+class TestValidation:
+    def test_empty_distances_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_channel(air_distances_m=np.array([]))
+
+    def test_nonpositive_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_channel(air_distances_m=np.array([0.5, 0.0]))
+
+    def test_bad_phase_mode(self):
+        with pytest.raises(ConfigurationError):
+            make_channel(phase_mode="oracle")
+
+    def test_bad_orientation(self):
+        with pytest.raises(ConfigurationError):
+            make_channel(orientation_gain=0.0)
+        with pytest.raises(ConfigurationError):
+            make_channel(orientation_gain=1.5)
+
+
+class TestAmplitudes:
+    def test_amplitude_includes_inverse_distance(self):
+        channel = make_channel(tissue_path=uniform_path(media.WATER, 0.0))
+        amplitudes = channel.amplitude_gains()
+        assert amplitudes[0] > amplitudes[-1]
+        # d=0 slab: only the 1/r remains (empty path).
+
+    def test_tissue_reduces_amplitude(self):
+        no_tissue = make_channel(
+            tissue_path=uniform_path(media.WATER, 0.0)
+        ).amplitude_gains()
+        with_tissue = make_channel().amplitude_gains()
+        assert np.all(with_tissue < no_tissue)
+
+    def test_orientation_scales_all(self):
+        full = make_channel().amplitude_gains()
+        half = make_channel(orientation_gain=0.5).amplitude_gains()
+        assert np.allclose(half, 0.5 * full)
+
+
+class TestRealize:
+    def test_random_mode_uniform_phases(self, rng):
+        channel = make_channel(phase_mode="random")
+        phases = []
+        for _ in range(200):
+            realization = channel.realize(rng)
+            phases.extend(np.angle(realization.gains))
+        phases = np.asarray(phases)
+        # Circular mean of uniform phases is near zero length.
+        resultant = abs(np.mean(np.exp(1j * phases)))
+        assert resultant < 0.1
+
+    def test_geometric_mode_deterministic(self, rng):
+        channel = make_channel(phase_mode="geometric")
+        a = channel.realize(rng).gains
+        b = channel.realize(rng).gains
+        assert np.allclose(a, b)
+
+    def test_geometric_phases_match(self, rng):
+        channel = make_channel(phase_mode="geometric")
+        realization = channel.realize(rng)
+        expected = np.exp(1j * channel.geometric_phases())
+        assert np.allclose(
+            realization.gains / np.abs(realization.gains), expected
+        )
+
+    def test_perturbed_mode_centers_on_geometric(self):
+        rng = np.random.default_rng(5)
+        # A thin fat layer: small electrical depth, so the perturbation is
+        # mild and the phases stay concentrated around the geometric ones.
+        channel = make_channel(
+            phase_mode="perturbed",
+            tissue_path=uniform_path(media.FAT, 0.005),
+        )
+        geometric = channel.geometric_phases()
+        deviations = []
+        for _ in range(100):
+            gains = channel.realize(rng).gains
+            deviations.append(np.angle(gains * np.exp(-1j * geometric)))
+        # Mean deviation should be near zero (unbiased perturbation).
+        resultant = np.abs(np.mean(np.exp(1j * np.asarray(deviations))))
+        assert resultant > 0.2  # concentrated, unlike uniform
+
+    def test_realize_at_other_frequency(self, rng):
+        channel = make_channel()
+        realization = channel.realize(rng, frequency_hz=880e6)
+        assert realization.frequency_hz == 880e6
+
+    def test_amplitudes_preserved(self, rng):
+        channel = make_channel()
+        realization = channel.realize(rng)
+        assert np.allclose(
+            np.abs(realization.gains), channel.amplitude_gains()
+        )
+
+
+class TestRealization:
+    def test_subset(self, rng):
+        realization = make_channel().realize(rng)
+        subset = realization.subset(2)
+        assert subset.n_antennas == 2
+        assert np.allclose(subset.gains, realization.gains[:2])
+
+    def test_subset_bounds(self, rng):
+        realization = make_channel().realize(rng)
+        with pytest.raises(ValueError):
+            realization.subset(0)
+        with pytest.raises(ValueError):
+            realization.subset(10)
+
+    def test_amplitude_sum(self):
+        realization = ChannelRealization(
+            gains=np.array([1.0 + 0j, 0.0 + 1j]), frequency_hz=F
+        )
+        assert realization.amplitude_sum() == pytest.approx(2.0)

@@ -1,0 +1,82 @@
+"""Tests for repro.em.fading."""
+
+import numpy as np
+import pytest
+
+from repro.em.fading import DelaySpreadProfile, FrequencySelectiveChannel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def channel(rng):
+    return FrequencySelectiveChannel(DelaySpreadProfile(), 4, rng)
+
+
+class TestProfile:
+    def test_coherence_bandwidth(self):
+        profile = DelaySpreadProfile(rms_delay_spread_s=50e-9)
+        assert profile.coherence_bandwidth_hz == pytest.approx(4e6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DelaySpreadProfile(n_taps=-1)
+        with pytest.raises(ConfigurationError):
+            DelaySpreadProfile(rms_delay_spread_s=0)
+        with pytest.raises(ConfigurationError):
+            DelaySpreadProfile(mean_tap_amplitude=1.0)
+
+
+class TestChannel:
+    def test_static_between_redraws(self, channel):
+        first = channel.fading_factors(915e6)
+        second = channel.fading_factors(915e6)
+        assert np.allclose(first, second)
+
+    def test_redraw_changes_realization(self, channel):
+        before = channel.fading_factors(915e6)
+        channel.redraw()
+        after = channel.fading_factors(915e6)
+        assert not np.allclose(before, after)
+
+    def test_per_antenna_independence(self, channel):
+        factors = channel.fading_factors(915e6)
+        assert len(set(np.round(np.abs(factors), 6))) > 1
+
+    def test_flat_within_cib_span(self, channel):
+        """Sub-kHz CIB spreads are safely inside the coherence bandwidth."""
+        assert channel.is_flat_within(915e6, 400.0)
+
+    def test_selective_across_bands(self, rng):
+        """Bands separated by >> coherence bandwidth fade independently."""
+        channel = FrequencySelectiveChannel(
+            DelaySpreadProfile(rms_delay_spread_s=100e-9), 1, rng
+        )
+        gains = [
+            channel.band_power_gain(902e6 + 2e6 * k) for k in range(13)
+        ]
+        assert max(gains) / (min(gains) + 1e-12) > 1.5
+
+    def test_band_survey_keys(self, channel):
+        bands = (902e6, 915e6, 927e6)
+        survey = channel.band_survey(bands)
+        assert set(survey) == set(bands)
+        assert all(value >= 0 for value in survey.values())
+
+    def test_mean_power_near_expected(self):
+        """Averaged over realizations, fading neither creates nor destroys
+        power beyond the echo energy."""
+        rng = np.random.default_rng(0)
+        profile = DelaySpreadProfile(n_taps=3, mean_tap_amplitude=0.3)
+        gains = []
+        for _ in range(300):
+            channel = FrequencySelectiveChannel(profile, 1, rng)
+            gains.append(channel.band_power_gain(915e6))
+        # E|1 + sum a_k e^{j phi}|^2 = 1 + sum E[a_k^2] with uniform phases.
+        assert np.mean(gains) == pytest.approx(1.0 + 3 * 2 * 0.3**2, rel=0.25)
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            FrequencySelectiveChannel(DelaySpreadProfile(), 0, rng)
+        channel = FrequencySelectiveChannel(DelaySpreadProfile(), 1, rng)
+        with pytest.raises(ValueError):
+            channel.fading_factors(0.0)

@@ -1,0 +1,74 @@
+"""Tests for repro.em.layers."""
+
+import math
+
+import pytest
+
+from repro.em import media
+from repro.em.layers import Layer, LayeredPath, uniform_path
+from repro.em.propagation import field_transmittance
+from repro.errors import ConfigurationError
+
+F = 915e6
+
+
+class TestLayer:
+    def test_negative_thickness_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Layer(media.MUSCLE, -0.01)
+
+
+class TestLayeredPath:
+    def test_empty_path_is_identity(self):
+        path = LayeredPath([])
+        assert path.is_empty()
+        assert path.field_factor(F) == pytest.approx(1.0)
+        assert path.total_depth_m == 0.0
+        assert path.attenuation_db(F) == pytest.approx(0.0)
+
+    def test_single_slab_matches_closed_form(self):
+        depth = 0.03
+        path = uniform_path(media.MUSCLE, depth)
+        alpha = media.MUSCLE.attenuation_np_per_m(F)
+        transmittance = field_transmittance(media.AIR, media.MUSCLE, F)
+        expected = transmittance * math.exp(-alpha * depth)
+        assert path.amplitude_factor(F) == pytest.approx(expected, rel=1e-9)
+
+    def test_uniform_path_zero_depth(self):
+        assert uniform_path(media.MUSCLE, 0.0).is_empty()
+
+    def test_total_depth_sums(self):
+        path = LayeredPath.from_pairs(
+            [(media.SKIN, 0.002), (media.FAT, 0.01), (media.MUSCLE, 0.02)]
+        )
+        assert path.total_depth_m == pytest.approx(0.032)
+
+    def test_stacking_order_interfaces(self):
+        """Skin->fat->muscle accrues three interface transmittances."""
+        path = LayeredPath.from_pairs(
+            [(media.SKIN, 0.0), (media.FAT, 0.0), (media.MUSCLE, 0.0)]
+        )
+        expected = (
+            field_transmittance(media.AIR, media.SKIN, F)
+            * field_transmittance(media.SKIN, media.FAT, F)
+            * field_transmittance(media.FAT, media.MUSCLE, F)
+        )
+        assert path.amplitude_factor(F) == pytest.approx(expected, rel=1e-9)
+
+    def test_repeated_medium_no_extra_interface(self):
+        one = LayeredPath.from_pairs([(media.MUSCLE, 0.02)])
+        split = LayeredPath.from_pairs(
+            [(media.MUSCLE, 0.01), (media.MUSCLE, 0.01)]
+        )
+        assert split.amplitude_factor(F) == pytest.approx(
+            one.amplitude_factor(F), rel=1e-9
+        )
+
+    def test_deeper_attenuates_more(self):
+        shallow = uniform_path(media.MUSCLE, 0.01).attenuation_db(F)
+        deep = uniform_path(media.MUSCLE, 0.05).attenuation_db(F)
+        assert deep > shallow
+
+    def test_phase_accumulates(self):
+        path = uniform_path(media.MUSCLE, 0.05)
+        assert path.phase_rad(F) != 0.0

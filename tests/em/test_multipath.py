@@ -1,0 +1,62 @@
+"""Tests for repro.em.multipath."""
+
+import numpy as np
+import pytest
+
+from repro.em.multipath import (
+    IN_BODY_MULTIPATH,
+    INDOOR_MULTIPATH,
+    NO_MULTIPATH,
+    MultipathProfile,
+)
+from repro.errors import ConfigurationError
+
+F = 915e6
+
+
+class TestProfileValidation:
+    def test_negative_mean_taps(self):
+        with pytest.raises(ConfigurationError):
+            MultipathProfile(mean_taps=-1)
+
+    def test_tap_amplitude_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MultipathProfile(tap_amplitude=1.0)
+        with pytest.raises(ConfigurationError):
+            MultipathProfile(tap_amplitude=-0.1)
+
+    def test_negative_delay(self):
+        with pytest.raises(ConfigurationError):
+            MultipathProfile(max_excess_delay_s=-1e-9)
+
+
+class TestSampling:
+    def test_no_multipath_is_unity(self, rng):
+        assert NO_MULTIPATH.fading_factor(F, rng) == pytest.approx(1.0)
+
+    def test_no_multipath_no_taps(self, rng):
+        amplitudes, delays = NO_MULTIPATH.sample_taps(rng)
+        assert amplitudes.size == 0 and delays.size == 0
+
+    def test_tap_amplitudes_capped(self, rng):
+        profile = MultipathProfile(mean_taps=20, tap_amplitude=0.9)
+        amplitudes, _ = profile.sample_taps(rng)
+        assert np.all(amplitudes <= 0.95)
+
+    def test_delays_within_bound(self, rng):
+        profile = INDOOR_MULTIPATH
+        for _ in range(10):
+            _, delays = profile.sample_taps(rng)
+            assert np.all(delays <= profile.max_excess_delay_s)
+
+    def test_fading_mean_near_unity(self):
+        """Echo phases are uniform, so the mean fading factor ~ 1."""
+        rng = np.random.default_rng(0)
+        profile = IN_BODY_MULTIPATH
+        factors = [profile.fading_factor(F, rng) for _ in range(400)]
+        assert np.mean(factors) == pytest.approx(1.0, abs=0.1)
+
+    def test_fading_varies(self, rng):
+        profile = INDOOR_MULTIPATH
+        factors = {profile.fading_factor(F, rng) for _ in range(10)}
+        assert len(factors) > 1

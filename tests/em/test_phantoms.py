@@ -1,0 +1,114 @@
+"""Tests for repro.em.phantoms."""
+
+import numpy as np
+import pytest
+
+from repro.em import media
+from repro.em.phantoms import SWINE_PLACEMENTS, SwinePhantom, WaterTankPhantom
+from repro.errors import ConfigurationError
+
+F = 915e6
+
+
+class TestWaterTank:
+    def test_default_is_water_arc(self):
+        tank = WaterTankPhantom()
+        assert tank.medium is media.WATER
+        assert tank.geometry == "arc"
+
+    def test_channel_shapes(self):
+        tank = WaterTankPhantom()
+        channel = tank.channel(8, 0.1, F)
+        assert channel.n_antennas == 8
+        assert channel.tissue_path.total_depth_m == pytest.approx(0.1)
+
+    def test_air_tank_moves_depth_into_distance(self):
+        tank = WaterTankPhantom(medium=media.AIR, standoff_m=2.0)
+        channel = tank.channel(4, 1.0, F)
+        assert channel.tissue_path.is_empty()
+        assert np.allclose(channel.air_distances_m, 3.0)
+
+    def test_linear_geometry(self):
+        tank = WaterTankPhantom(geometry="linear")
+        channel = tank.channel(5, 0.05, F)
+        assert channel.air_distances_m[0] > channel.air_distances_m[2]
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            WaterTankPhantom(geometry="grid")
+
+    def test_invalid_standoff(self):
+        with pytest.raises(ConfigurationError):
+            WaterTankPhantom(standoff_m=0.0)
+
+
+class TestSwinePhantom:
+    def test_placements_listed(self):
+        assert set(SwinePhantom.placements()) == {"gastric", "subcutaneous"}
+
+    def test_gastric_deeper_than_subcutaneous(self):
+        phantom = SwinePhantom()
+        assert phantom.placement_depth_m("gastric") > phantom.placement_depth_m(
+            "subcutaneous"
+        )
+
+    def test_unknown_placement(self):
+        with pytest.raises(KeyError):
+            SwinePhantom().tissue_path("intracranial")
+
+    def test_breathing_jitters_depth(self, rng):
+        phantom = SwinePhantom()
+        nominal = phantom.placement_depth_m("gastric")
+        depths = {
+            phantom.tissue_path("gastric", rng).total_depth_m
+            for _ in range(10)
+        }
+        assert len(depths) > 1
+        assert all(
+            abs(d - nominal) <= phantom.breathing_amplitude_m + 1e-12
+            for d in depths
+        )
+
+    def test_channel_standoff_in_range(self, rng):
+        phantom = SwinePhantom()
+        for _ in range(10):
+            channel = phantom.channel("gastric", 8, F, rng)
+            assert np.min(channel.air_distances_m) >= phantom.min_standoff_m - 1e-9
+            # Lateral spread makes the max distance exceed the standoff.
+
+    def test_free_orientation_varies_widely(self):
+        rng = np.random.default_rng(2)
+        phantom = SwinePhantom()
+        gains = [phantom.sample_orientation_gain(rng) for _ in range(300)]
+        assert min(gains) < 0.2
+        assert max(gains) > 0.65
+
+    def test_controlled_orientation_is_tight(self):
+        rng = np.random.default_rng(2)
+        phantom = SwinePhantom()
+        gains = [
+            phantom.sample_controlled_orientation_gain(rng) for _ in range(100)
+        ]
+        assert min(gains) > 0.6
+
+    def test_gastric_uses_free_subcut_uses_controlled(self):
+        rng = np.random.default_rng(3)
+        phantom = SwinePhantom()
+        gastric = [
+            phantom.channel("gastric", 4, F, rng).orientation_gain
+            for _ in range(100)
+        ]
+        subcut = [
+            phantom.channel("subcutaneous", 4, F, rng).orientation_gain
+            for _ in range(100)
+        ]
+        assert min(gastric) < min(subcut)
+
+    def test_invalid_standoff_range(self):
+        with pytest.raises(ConfigurationError):
+            SwinePhantom(min_standoff_m=0.8, max_standoff_m=0.3)
+
+    def test_stack_composition(self):
+        layers = [layer.medium.name for layer in SwinePhantom().tissue_path("gastric").layers]
+        assert layers[0] == "skin"
+        assert layers[-1] == "gastric content"

@@ -1,0 +1,96 @@
+"""Tests for repro.em.safety (the Sec. 7 compliance claim)."""
+
+import numpy as np
+import pytest
+
+from repro.core import waveform
+from repro.core.plan import paper_plan
+from repro.em.media import MUSCLE
+from repro.em.safety import (
+    FCC_MAX_EIRP_W,
+    LOCALIZED_SAR_LIMIT_W_PER_KG,
+    cw_equivalent_average_sar,
+    exposure_report,
+    local_sar_w_per_kg,
+    time_averaged_sar_w_per_kg,
+)
+
+
+class TestLocalSar:
+    def test_formula(self):
+        # SAR = sigma E_rms^2 / rho with E_peak = 10 -> E_rms^2 = 50.
+        expected = MUSCLE.conductivity_s_per_m * 50.0 / 1050.0
+        assert local_sar_w_per_kg(10.0, MUSCLE) == pytest.approx(expected)
+
+    def test_quadratic_in_field(self):
+        assert local_sar_w_per_kg(2.0, MUSCLE) == pytest.approx(
+            4.0 * local_sar_w_per_kg(1.0, MUSCLE)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            local_sar_w_per_kg(-1.0, MUSCLE)
+
+
+class TestTimeAveraged:
+    def test_constant_envelope_matches_local(self):
+        envelope = np.full(100, 3.0)
+        assert time_averaged_sar_w_per_kg(envelope, MUSCLE) == pytest.approx(
+            local_sar_w_per_kg(3.0, MUSCLE)
+        )
+
+    def test_duty_cycling_reduces_average(self):
+        """The Sec. 7 argument: peaks for an instant, quiet otherwise."""
+        peaky = np.zeros(1000)
+        peaky[::100] = 10.0
+        constant = np.full(1000, 10.0)
+        assert time_averaged_sar_w_per_kg(peaky, MUSCLE) < 0.05 * (
+            time_averaged_sar_w_per_kg(constant, MUSCLE)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_averaged_sar_w_per_kg(np.array([]), MUSCLE)
+        with pytest.raises(ValueError):
+            time_averaged_sar_w_per_kg(np.array([-1.0]), MUSCLE)
+
+
+class TestExposureReport:
+    def make_cib_envelope(self, scale=30.0):
+        rng = np.random.default_rng(0)
+        plan = paper_plan()
+        betas = rng.uniform(0, 2 * np.pi, 10)
+        t = np.linspace(0, 1, 4096)
+        return scale / 10.0 * waveform.envelope(plan.offsets_array(), betas, t)
+
+    def test_cib_crest_factor(self):
+        """CIB's peak-to-average exposure ratio is several-fold: the
+        mechanism behind the compliance claim."""
+        report = exposure_report(self.make_cib_envelope(), MUSCLE, 4.0)
+        assert report.peak_to_average > 3.0
+
+    def test_cib_average_below_cw_equivalent(self):
+        envelope = self.make_cib_envelope()
+        report = exposure_report(envelope, MUSCLE, 4.0)
+        cw = cw_equivalent_average_sar(float(np.max(envelope)), MUSCLE)
+        assert report.average_sar_w_per_kg < cw / 3.0
+
+    def test_compliance_flags(self):
+        quiet = exposure_report(np.full(64, 1.0), MUSCLE, 4.0)
+        assert quiet.sar_compliant
+        assert quiet.eirp_compliant
+        loud = exposure_report(np.full(64, 500.0), MUSCLE, 10.0)
+        assert not loud.sar_compliant
+        assert not loud.eirp_compliant
+
+    def test_limits_are_regulatory(self):
+        assert LOCALIZED_SAR_LIMIT_W_PER_KG == 1.6
+        assert FCC_MAX_EIRP_W == 4.0
+
+    def test_summary_mentions_verdicts(self):
+        report = exposure_report(np.full(16, 1.0), MUSCLE, 4.0)
+        assert "OK" in report.summary()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exposure_report(np.full(16, 1.0), MUSCLE, 0.0)

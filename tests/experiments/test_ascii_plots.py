@@ -1,0 +1,48 @@
+"""Tests for the ASCII plot helpers in repro.experiments.report."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import ascii_cdf, ascii_series
+
+
+class TestAsciiSeries:
+    def test_contains_title_and_marks(self):
+        text = ascii_series([1, 2, 3], [1, 4, 9], title="squares")
+        assert "squares" in text
+        assert "*" in text
+
+    def test_extremes_on_axes(self):
+        text = ascii_series([0, 10], [0, 100])
+        assert "100" in text
+        assert "0" in text
+
+    def test_constant_series_renders(self):
+        text = ascii_series([1, 2, 3], [5, 5, 5])
+        assert text.count("*") >= 1
+
+    def test_dimensions(self):
+        text = ascii_series(list(range(10)), list(range(10)), width=30, height=6)
+        body_lines = [l for l in text.splitlines() if l.startswith(" " * 11 + "|")]
+        assert len(body_lines) == 6
+        assert all(len(l) <= 11 + 1 + 30 for l in body_lines)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_series([], [])
+        with pytest.raises(ValueError):
+            ascii_series([1, 2], [1])
+        with pytest.raises(ValueError):
+            ascii_series([1, 2], [1, 2], width=5)
+
+
+class TestAsciiCdf:
+    def test_monotone_staircase(self):
+        rng = np.random.default_rng(0)
+        text = ascii_cdf(rng.normal(size=200), title="cdf")
+        assert "cdf" in text
+        assert "*" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_cdf([])

@@ -1,0 +1,40 @@
+"""Tests for repro.experiments.ber."""
+
+import pytest
+
+from repro.experiments import ber
+
+
+class TestBer:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ber.run(ber.BerConfig.fast())
+
+    def test_monotone_in_snr(self, result):
+        for scheme, curve in result.curves.items():
+            values = [value for _, value in curve]
+            # BER never *rises* appreciably with SNR.
+            assert all(b <= a + 0.05 for a, b in zip(values, values[1:])), scheme
+
+    def test_miller8_beats_miller2(self, result):
+        for snr, _ in result.curves["Miller-2"]:
+            assert result.ber("Miller-8", snr) <= result.ber("Miller-2", snr) + 0.02
+
+    def test_averaging_beats_single_shot(self, result):
+        for snr, _ in result.curves["FM0"]:
+            assert result.ber("FM0 avg x10", snr) <= result.ber("FM0", snr)
+
+    def test_high_snr_error_free(self, result):
+        top_snr = result.curves["FM0"][-1][0]
+        assert result.ber("FM0", top_snr) < 0.05
+        assert result.ber("Miller-8", top_snr) < 0.01
+
+    def test_ber_bounded(self, result):
+        for curve in result.curves.values():
+            for _, value in curve:
+                assert 0.0 <= value <= 1.0
+
+    def test_table_and_lookup(self, result):
+        assert "BER" in result.table().render()
+        with pytest.raises(KeyError):
+            result.ber("FM0", 99.0)

@@ -1,0 +1,61 @@
+"""Tests for CLI plotting hooks and the Fig. 15 trace capture."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig09, fig12, fig13, invivo
+from repro.experiments.cli import _plots_of, main
+
+
+class TestPlotsOf:
+    def test_fig09_series_plot(self):
+        result = fig09.run(fig09.Fig09Config.fast())
+        plots = _plots_of(result)
+        assert any("median gain vs antennas" in plot for plot in plots)
+
+    def test_fig12_cdf_plot(self):
+        result = fig12.run(fig12.Fig12Config.fast())
+        plots = _plots_of(result)
+        assert any("ratio CDF" in plot for plot in plots)
+
+    def test_fig13_panel_plots(self):
+        result = fig13.run(fig13.Fig13Config.fast())
+        plots = _plots_of(result)
+        assert len(plots) == 4
+        assert any("standard tag" in plot and "air" in plot for plot in plots)
+
+    def test_plotless_result_yields_nothing(self):
+        from repro.experiments import constraint_check
+
+        assert _plots_of(constraint_check.run()) == []
+
+    def test_cli_plot_flag(self, capsys):
+        assert main(["fig09", "--fast", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "median gain vs antennas" in out
+        assert "*" in out
+
+
+class TestFig15Trace:
+    def test_gastric_trace_capture(self):
+        trace = invivo.capture_trace(placement="gastric", tag="standard")
+        assert trace is not None
+        assert trace.correlation > 0.8
+        assert len(trace.bits) == 16
+        assert trace.waveform.size > 100
+        # The capture contains genuine bipolar backscatter structure.
+        assert np.std(trace.waveform) > 0
+
+    def test_subcutaneous_trace_capture(self):
+        trace = invivo.capture_trace(placement="subcutaneous", tag="miniature")
+        assert trace is not None
+        assert trace.placement == "subcutaneous"
+        assert trace.tag == "miniature"
+
+    def test_hopeless_configuration_returns_none(self):
+        config = invivo.InVivoConfig(eirp_per_branch_w=1e-6)
+        trace = invivo.capture_trace(
+            placement="gastric", tag="miniature", config=config,
+            max_attempts=3,
+        )
+        assert trace is None

@@ -1,0 +1,44 @@
+"""Determinism regression: same seed, same tables.
+
+Every experiment driver must be exactly reproducible from its config seed
+-- the property that makes EXPERIMENTS.md's recorded numbers meaningful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig06, fig09, fig11, fig12, invivo
+
+
+class TestDeterminism:
+    def test_fig06(self):
+        config = fig06.Fig06Config.fast()
+        first = fig06.run(config)
+        second = fig06.run(config)
+        assert first.best_offsets == second.best_offsets
+        assert first.worst_offsets == second.worst_offsets
+        assert np.array_equal(first.best_gains, second.best_gains)
+
+    def test_fig09(self):
+        config = fig09.Fig09Config.fast()
+        assert fig09.run(config).medians == fig09.run(config).medians
+
+    def test_fig11(self):
+        config = fig11.Fig11Config.fast()
+        assert fig11.run(config).rows == fig11.run(config).rows
+
+    def test_fig12(self):
+        config = fig12.Fig12Config.fast()
+        assert np.array_equal(fig12.run(config).ratios, fig12.run(config).ratios)
+
+    def test_invivo(self):
+        config = invivo.InVivoConfig.fast()
+        assert invivo.run(config).counts == invivo.run(config).counts
+
+    def test_different_seeds_differ(self):
+        base = fig12.Fig12Config.fast()
+        other = fig12.Fig12Config(n_trials=base.n_trials, depth_m=base.depth_m,
+                                  seed=base.seed + 1)
+        assert not np.array_equal(
+            fig12.run(base).ratios, fig12.run(other).ratios
+        )

@@ -1,0 +1,179 @@
+"""Shape checks on the experiment drivers (fast configurations).
+
+These tests assert the *qualitative* results the paper reports -- who
+wins, by roughly what factor, where crossovers fall -- using reduced trial
+counts so the suite stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    constraint_check,
+    fig06,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    invivo,
+)
+
+
+class TestFig06:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig06.run(fig06.Fig06Config.fast())
+
+    def test_best_set_near_optimal(self, result):
+        """The best set reaches >= 90% of 25x across most channels."""
+        assert np.median(result.best_gains) >= 0.9 * result.optimal_gain
+
+    def test_worst_set_clearly_worse(self, result):
+        assert np.median(result.worst_gains) < np.median(result.best_gains)
+
+    def test_gains_bounded_by_optimal(self, result):
+        assert np.max(result.best_gains) <= result.optimal_gain + 1e-6
+
+    def test_table_renders(self, result):
+        assert "Fig. 6" in result.table().render()
+
+
+class TestFig09:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig09.run(fig09.Fig09Config.fast())
+
+    def test_monotonic_growth(self, result):
+        medians = result.medians
+        # Allow small non-monotonic noise but require overall growth.
+        assert medians[-1] > medians[0] * 20
+        assert all(
+            later > 0.7 * earlier
+            for earlier, later in zip(medians, medians[1:])
+        )
+
+    def test_single_antenna_is_unity(self, result):
+        assert result.medians[0] == pytest.approx(1.0, rel=0.05)
+
+    def test_ten_antennas_tens_of_times(self, result):
+        """Paper: gains as high as 85x; the model lands in the tens."""
+        assert 40 <= result.medians[-1] <= 100
+
+    def test_below_ideal_n_squared(self, result):
+        for count, median in zip(result.antenna_counts, result.medians):
+            assert median <= count**2 * 1.1
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10.run(fig10.Fig10Config.fast())
+
+    def test_gain_flat_across_depth(self, result):
+        medians = [row[1] for row in result.depth_rows]
+        assert max(medians) / min(medians) < 1.6
+
+    def test_gain_flat_across_orientation(self, result):
+        medians = [row[1] for row in result.orientation_rows]
+        assert max(medians) / min(medians) < 1.6
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11.run(fig11.Fig11Config.fast())
+
+    def test_cib_beats_baseline_everywhere(self, result):
+        for cib, baseline in zip(result.cib_medians(), result.baseline_medians()):
+            assert cib > 2.0 * baseline
+
+    def test_cib_gain_medium_independent(self, result):
+        medians = result.cib_medians()
+        assert max(medians) / min(medians) < 1.6
+
+    def test_media_covered(self, result):
+        names = [row[0] for row in result.rows]
+        assert names[0] == "air" and "bacon" in names
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12.run(fig12.Fig12Config.fast())
+
+    def test_cib_wins_almost_always(self, result):
+        """Paper: ratio > 1 in over 99% of trials."""
+        assert result.fraction_above_one >= 0.95
+
+    def test_median_ratio_several_times(self, result):
+        assert 3.0 <= result.median_ratio <= 15.0
+
+    def test_heavy_tail(self, result):
+        assert result.max_ratio > 25.0
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig13.run(fig13.Fig13Config.fast())
+
+    def test_single_antenna_air_range_calibrated(self, result):
+        first = result.panels[("standard", "air")][0]
+        assert first[1] == pytest.approx(5.2, rel=0.05)
+
+    def test_air_range_gain_several_times(self, result):
+        """Paper: ~7.6x with 8 antennas; sqrt(peak gain) predicts ~7."""
+        gain = result.range_gain("standard", "air")
+        assert 4.0 <= gain <= 10.0
+
+    def test_miniature_air_range_order_half_meter(self, result):
+        first = result.panels[("miniature", "air")][0]
+        assert 0.2 <= first[1] <= 1.2
+
+    def test_water_depth_zero_with_one_antenna(self, result):
+        assert result.panels[("standard", "water")][0][1] == 0.0
+        assert result.panels[("miniature", "water")][0][1] == 0.0
+
+    def test_water_depths_reach_paper_scale(self, result):
+        standard = result.panels[("standard", "water")][-1][1]
+        miniature = result.panels[("miniature", "water")][-1][1]
+        assert 0.15 <= standard <= 0.35   # paper: 23 cm
+        assert 0.05 <= miniature <= 0.20  # paper: 11 cm
+        assert standard > miniature
+
+    def test_monotone_in_antennas(self, result):
+        for series in result.panels.values():
+            values = [value for _, value in series]
+            assert all(b >= a - 1e-6 for a, b in zip(values, values[1:]))
+
+
+class TestInVivo:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return invivo.run(invivo.InVivoConfig(n_trials=10))
+
+    def test_gastric_standard_partial(self, result):
+        """Paper: communication in about half the gastric trials."""
+        rate = result.success_rate("gastric", "standard")
+        assert 0.2 <= rate <= 0.9
+
+    def test_gastric_miniature_fails(self, result):
+        assert result.success_rate("gastric", "miniature") == 0.0
+
+    def test_subcutaneous_all_succeed(self, result):
+        assert result.success_rate("subcutaneous", "standard") == 1.0
+        assert result.success_rate("subcutaneous", "miniature") == 1.0
+
+    def test_table_lists_all_cells(self, result):
+        rendered = result.table().render()
+        assert "gastric" in rendered and "subcutaneous" in rendered
+
+
+class TestConstraintCheck:
+    def test_paper_numbers(self):
+        result = constraint_check.run()
+        assert result.rms_bound_hz == pytest.approx(199.0, abs=0.5)
+        assert result.paper_rms_hz == pytest.approx(81.9, abs=0.5)
+        assert result.measured_fluctuation <= result.predicted_fluctuation
+        assert result.measured_fluctuation < 0.5

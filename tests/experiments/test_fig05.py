@@ -1,0 +1,36 @@
+"""Tests for repro.experiments.fig05 (blind-spot census)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig05
+
+
+class TestFig05:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig05.run(fig05.Fig05Config.fast())
+
+    def test_cib_dominates_everywhere(self, result):
+        for _, traditional, cib in result.rows:
+            assert cib >= traditional
+
+    def test_traditional_fraction_decays_with_threshold(self, result):
+        fractions = [row[1] for row in result.rows]
+        assert all(b <= a for a, b in zip(fractions, fractions[1:]))
+
+    def test_cib_full_coverage_at_moderate_thresholds(self, result):
+        reached = {row[0]: row[2] for row in result.rows}
+        assert reached[2.0] == 1.0
+        assert reached[3.0] == 1.0
+
+    def test_traditional_levels_are_constant_per_location(self, result):
+        """The traditional scheme has one level per location, bounded by N."""
+        assert np.all(result.traditional_levels <= 10.0 + 1e-9)
+        assert np.all(result.cib_peaks <= 10.0 + 1e-9)
+        assert np.all(result.cib_peaks + 1e-9 >= result.traditional_levels)
+
+    def test_blind_spot_lookup(self, result):
+        assert 0.0 <= result.blind_spot_fraction(3.0) <= 1.0
+        with pytest.raises(KeyError):
+            result.blind_spot_fraction(99.0)

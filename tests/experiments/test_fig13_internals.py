@@ -1,0 +1,78 @@
+"""Tests for the fig13 driver internals (calibration, search paths)."""
+
+import pytest
+
+from repro.core.plan import paper_plan
+from repro.experiments import fig13
+from repro.sensors.tags import miniature_tag_spec, standard_tag_spec
+
+
+class TestCalibration:
+    def test_calibrated_eirp_hits_target(self):
+        config = fig13.Fig13Config(antenna_counts=(1,), n_trials=5)
+        eirp = fig13.calibrated_eirp_w(config)
+        achieved = fig13._air_range_m(
+            paper_plan().subset(1), standard_tag_spec(), eirp, config,
+            config.seed,
+        )
+        assert achieved == pytest.approx(5.2, abs=0.2)
+
+    def test_calibration_is_in_plausible_power_band(self):
+        config = fig13.Fig13Config(antenna_counts=(1,), n_trials=5)
+        eirp = fig13.calibrated_eirp_w(config)
+        # Should land near 30 dBm + 7 dBi (a few watts), not at an extreme.
+        assert 1.0 <= eirp <= 20.0
+
+    def test_custom_target(self):
+        config = fig13.Fig13Config(antenna_counts=(1,), n_trials=5)
+        eirp_near = fig13.calibrated_eirp_w(config, target_m=3.0)
+        eirp_far = fig13.calibrated_eirp_w(config, target_m=8.0)
+        assert eirp_far > eirp_near
+
+
+class TestRangeSearch:
+    def test_air_range_monotone_in_eirp(self):
+        config = fig13.Fig13Config(n_trials=5)
+        plan = paper_plan().subset(2)
+        spec = standard_tag_spec()
+        weak = fig13._air_range_m(plan, spec, 1.0, config, 1)
+        strong = fig13._air_range_m(plan, spec, 16.0, config, 1)
+        # 16x power -> 4x field -> ~4x range.
+        assert strong == pytest.approx(4.0 * weak, rel=0.15)
+
+    def test_air_range_zero_when_hopeless(self):
+        config = fig13.Fig13Config(n_trials=5)
+        value = fig13._air_range_m(
+            paper_plan().subset(1), miniature_tag_spec(), 1e-4, config, 2
+        )
+        assert value == 0.0
+
+    def test_water_depth_zero_when_surface_fails(self):
+        config = fig13.Fig13Config(n_trials=5)
+        value = fig13._water_depth_m(
+            paper_plan().subset(1), miniature_tag_spec(), 0.5, config, 3
+        )
+        assert value == 0.0
+
+    def test_uncalibrated_run_uses_config_eirp(self):
+        config = fig13.Fig13Config(
+            antenna_counts=(1,), n_trials=4, calibrate=False, eirp_w=12.0
+        )
+        result = fig13.run(config)
+        assert result.eirp_w == 12.0
+
+
+class TestRangeGainHelper:
+    def test_infinite_gain_from_zero_base(self):
+        result = fig13.Fig13Result(
+            panels={
+                ("standard", "water"): [(1, 0.0), (8, 0.2)],
+                ("standard", "air"): [(1, 5.0), (8, 35.0)],
+                ("miniature", "air"): [(1, 0.5), (8, 3.5)],
+                ("miniature", "water"): [(1, 0.0), (8, 0.0)],
+            },
+            eirp_w=6.0,
+        )
+        assert result.range_gain("standard", "water") == float("inf")
+        assert result.range_gain("miniature", "water") == 1.0
+        assert result.range_gain("standard", "air") == pytest.approx(7.0)

@@ -1,0 +1,45 @@
+"""Tests for repro.experiments.report."""
+
+import pytest
+
+from repro.experiments.report import Table
+
+
+class TestTable:
+    def test_render_contains_title_and_values(self):
+        table = Table("My title", ("a", "b"))
+        table.add_row(1, 2.5)
+        rendered = table.render()
+        assert "My title" in rendered
+        assert "2.5" in rendered
+
+    def test_row_arity_checked(self):
+        table = Table("t", ("a", "b"))
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = Table("t", ("x", "y"))
+        table.add_row(1, 10)
+        table.add_row(2, 20)
+        assert table.column("y") == [10, 20]
+
+    def test_unknown_column(self):
+        table = Table("t", ("x",))
+        with pytest.raises(KeyError):
+            table.column("z")
+
+    def test_float_formatting(self):
+        assert Table._format(0.000123) == "0.000123"
+        assert Table._format(123456.0) == "1.23e+05"
+        assert Table._format(True) == "yes"
+        assert Table._format(1.5) == "1.5"
+
+    def test_empty_table_renders(self):
+        table = Table("empty", ("a",))
+        assert "empty" in table.render()
+
+    def test_str_is_render(self):
+        table = Table("t", ("a",))
+        table.add_row(1)
+        assert str(table) == table.render()

@@ -1,0 +1,41 @@
+"""Tests for repro.experiments.sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import sensitivity
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sensitivity.run(sensitivity.SensitivityConfig.fast())
+
+    def test_range_gain_invariant_to_calibration(self, result):
+        """The multiplicative range gain belongs to the beamformer: it
+        must not move with threshold or aperture guesses."""
+        gains = result.gains()
+        assert max(gains) / min(gains) < 1.25
+        assert all(4.0 <= gain <= 10.0 for gain in gains)
+
+    def test_depth_tracks_medium_loss_only(self, result):
+        """Water depth responds to the actual water conductivity..."""
+        water_rows = [r for r in result.rows if "conductivity" in r[0]]
+        depths = [r[3] for r in water_rows]
+        conductivities = [r[1] for r in water_rows]
+        # Higher conductivity -> more loss -> shallower.
+        ordered = sorted(zip(conductivities, depths))
+        assert ordered[0][1] > ordered[-1][1]
+
+    def test_depth_invariant_to_recalibrated_threshold(self, result):
+        """...but not to the threshold, which re-calibration absorbs."""
+        threshold_rows = [r for r in result.rows if "threshold" in r[0]]
+        depths = [r[3] for r in threshold_rows]
+        assert max(depths) - min(depths) < 3.0
+
+    def test_all_depths_in_paper_band(self, result):
+        for depth in result.depths_cm():
+            assert 10.0 <= depth <= 45.0
+
+    def test_table(self, result):
+        assert "Sensitivity" in result.table().render()

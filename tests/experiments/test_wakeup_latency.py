@@ -1,0 +1,39 @@
+"""Tests for repro.experiments.wakeup_latency."""
+
+import pytest
+
+from repro.experiments import wakeup_latency
+
+
+class TestWakeupLatency:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return wakeup_latency.run(wakeup_latency.WakeupConfig.fast())
+
+    def test_shallow_wakes_immediately(self, result):
+        latency = result.latency_at(0.05)
+        assert latency is not None
+        assert latency < 0.01
+
+    def test_latency_grows_with_depth(self, result):
+        latencies = [row[1] for row in result.rows]
+        measured = [value for value in latencies if value is not None]
+        # Whatever woke, woke slower the deeper it sat.
+        assert measured == sorted(measured)
+
+    def test_deepest_point_slowest_or_silent(self, result):
+        shallow = result.latency_at(result.rows[0][0])
+        deep = result.rows[-1][1]
+        assert deep is None or deep >= shallow
+
+    def test_wake_fractions_bounded(self, result):
+        for _, _, fraction in result.rows:
+            assert 0.0 <= fraction <= 1.0
+
+    def test_table_renders(self, result):
+        rendered = result.table().render()
+        assert "wake-up latency" in rendered
+
+    def test_unknown_depth_raises(self, result):
+        with pytest.raises(KeyError):
+            result.latency_at(0.99)

@@ -1,0 +1,79 @@
+"""Tests for repro.gen2.crc."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.gen2.crc import (
+    append_crc16,
+    append_crc5,
+    check_crc16,
+    check_crc5,
+    crc16,
+    crc5,
+)
+
+
+def bytes_to_bits(data: bytes):
+    return tuple(int(b) for byte in data for b in format(byte, "08b"))
+
+
+class TestCrc5:
+    def test_length(self):
+        assert len(crc5((1, 0, 1))) == 5
+
+    def test_roundtrip(self, rng):
+        for _ in range(50):
+            message = tuple(int(b) for b in rng.integers(0, 2, 17))
+            assert check_crc5(append_crc5(message))
+
+    def test_detects_single_bit_flips(self, rng):
+        message = tuple(int(b) for b in rng.integers(0, 2, 17))
+        frame = list(append_crc5(message))
+        for position in range(len(frame)):
+            corrupted = frame.copy()
+            corrupted[position] ^= 1
+            assert not check_crc5(tuple(corrupted)), position
+
+    def test_too_short_raises(self):
+        with pytest.raises(ProtocolError):
+            check_crc5((1, 0, 1))
+
+    def test_non_bits_rejected(self):
+        with pytest.raises(ProtocolError):
+            crc5((0, 2, 1))
+
+
+class TestCrc16:
+    def test_known_vector(self):
+        """CRC-16/CCITT-FALSE of '123456789' is 0x29B1; Gen2 complements
+        the register, giving 0xD64E."""
+        bits = bytes_to_bits(b"123456789")
+        value = int("".join(str(b) for b in crc16(bits)), 2)
+        assert value == 0xD64E
+
+    def test_roundtrip(self, rng):
+        for _ in range(50):
+            message = tuple(int(b) for b in rng.integers(0, 2, 96))
+            assert check_crc16(append_crc16(message))
+
+    def test_detects_single_bit_flips(self, rng):
+        message = tuple(int(b) for b in rng.integers(0, 2, 64))
+        frame = list(append_crc16(message))
+        for position in range(0, len(frame), 7):
+            corrupted = frame.copy()
+            corrupted[position] ^= 1
+            assert not check_crc16(tuple(corrupted)), position
+
+    def test_detects_burst_errors(self, rng):
+        message = tuple(int(b) for b in rng.integers(0, 2, 64))
+        frame = list(append_crc16(message))
+        for start in range(0, 48, 11):
+            corrupted = frame.copy()
+            for offset in range(8):
+                corrupted[start + offset] ^= 1
+            assert not check_crc16(tuple(corrupted))
+
+    def test_too_short_raises(self):
+        with pytest.raises(ProtocolError):
+            check_crc16(tuple([1] * 16))

@@ -1,0 +1,101 @@
+"""Tests for repro.gen2.decoder (the Sec. 6.2 correlation rule)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecodingError
+from repro.gen2.decoder import (
+    correlate_preamble,
+    decode_fm0_response,
+    matched_filter_snr,
+    preamble_template,
+)
+from repro.gen2.fm0 import chips_to_waveform, encode_chips
+
+
+def make_response(bits, samples_per_chip=10, amplitude=1.0):
+    chips = encode_chips(bits)
+    return amplitude * chips_to_waveform(chips, samples_per_chip)
+
+
+class TestCorrelatePreamble:
+    def test_perfect_signal_correlates_fully(self):
+        waveform = make_response((1, 0) * 8)
+        correlation, offset = correlate_preamble(waveform, 10)
+        assert correlation == pytest.approx(1.0, abs=1e-6)
+        assert offset == 0
+
+    def test_finds_offset(self, rng):
+        response = make_response((1, 1, 0, 0) * 4)
+        padded = np.concatenate([rng.normal(0, 0.05, 137), response])
+        correlation, offset = correlate_preamble(padded, 10)
+        assert correlation > 0.95
+        assert offset == pytest.approx(137, abs=2)
+
+    def test_inverted_polarity_still_correlates(self):
+        waveform = -make_response((1, 0) * 8)
+        correlation, _ = correlate_preamble(waveform, 10)
+        assert correlation == pytest.approx(1.0, abs=1e-6)
+
+    def test_noise_only_low_correlation(self):
+        rng = np.random.default_rng(0)
+        correlation, _ = correlate_preamble(rng.normal(0, 1, 2000), 10)
+        assert correlation < 0.5
+
+    def test_short_waveform_raises(self):
+        with pytest.raises(DecodingError):
+            correlate_preamble(np.ones(10), 10)
+
+    def test_template_length(self):
+        assert preamble_template(7).size == 12 * 7
+
+
+class TestDecodeResponse:
+    def test_clean_decode(self, rng):
+        bits = tuple(int(b) for b in rng.integers(0, 2, 16))
+        result = decode_fm0_response(make_response(bits), 16, 10)
+        assert result.success
+        assert result.bits == bits
+        assert result.correlation > 0.99
+
+    def test_noisy_decode(self, rng):
+        bits = tuple(int(b) for b in rng.integers(0, 2, 16))
+        waveform = make_response(bits) + rng.normal(0, 0.3, 460)
+        result = decode_fm0_response(waveform, 16, 10)
+        assert result.success
+        assert result.bits == bits
+
+    def test_below_threshold_fails(self):
+        rng = np.random.default_rng(1)
+        result = decode_fm0_response(rng.normal(0, 1, 1500), 16, 10)
+        assert not result.success
+        assert result.bits == ()
+
+    def test_custom_threshold(self, rng):
+        bits = (1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 0, 1, 0)
+        weak = make_response(bits) + rng.normal(0, 1.2, 460)
+        strict = decode_fm0_response(weak, 16, 10, threshold=0.95)
+        lenient = decode_fm0_response(weak, 16, 10, threshold=0.3)
+        assert not strict.success or strict.correlation >= 0.95
+        assert lenient.correlation == strict.correlation
+
+    def test_truncated_waveform_fails_gracefully(self):
+        bits = (1, 0) * 8
+        waveform = make_response(bits)[: 20 * 10]
+        result = decode_fm0_response(waveform, 16, 10)
+        assert not result.success
+
+    def test_invalid_n_bits(self):
+        with pytest.raises(ValueError):
+            decode_fm0_response(np.ones(400), 0, 10)
+
+
+class TestMatchedFilterSnr:
+    def test_high_for_clean(self):
+        waveform = make_response((1, 0) * 8)
+        assert matched_filter_snr(waveform, 10) > 100
+
+    def test_low_for_noise(self):
+        rng = np.random.default_rng(2)
+        snr = matched_filter_snr(rng.normal(0, 1, 2000), 10)
+        assert snr is None or snr < 1.0

@@ -1,0 +1,115 @@
+"""Tests for repro.gen2.fm0."""
+
+import numpy as np
+import pytest
+
+from repro.constants import PAPER_PREAMBLE_BITS
+from repro.errors import DecodingError, ProtocolError
+from repro.gen2.fm0 import (
+    PREAMBLE_CHIPS,
+    chips_to_waveform,
+    decode_chips,
+    encode_chips,
+    symbol_duration_s,
+    waveform_to_chips,
+)
+
+
+class TestPreamble:
+    def test_matches_paper_string(self):
+        """Sec. 6.2 correlates against '110100100011'."""
+        assert PREAMBLE_CHIPS == (1, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 1)
+        assert PREAMBLE_CHIPS == PAPER_PREAMBLE_BITS
+
+
+class TestEncode:
+    def test_chip_count(self):
+        chips = encode_chips((1, 0, 1), include_preamble=True, dummy_bit=True)
+        assert len(chips) == 12 + 2 * 3 + 2
+
+    def test_boundary_inversion_always_present(self, rng):
+        for _ in range(30):
+            bits = tuple(int(b) for b in rng.integers(0, 2, 12))
+            chips = encode_chips(bits, include_preamble=False, dummy_bit=False)
+            # Every symbol boundary (even chip index > 0) inverts.
+            for index in range(2, len(chips), 2):
+                assert chips[index] != chips[index - 1]
+
+    def test_data1_constant_within_bit(self):
+        chips = encode_chips((1,), include_preamble=False, dummy_bit=False)
+        assert chips[0] == chips[1]
+
+    def test_data0_inverts_mid_bit(self):
+        chips = encode_chips((0,), include_preamble=False, dummy_bit=False)
+        assert chips[0] != chips[1]
+
+    def test_pilot_tone_prepended(self):
+        plain = encode_chips((1, 1), pilot_tone_bits=0)
+        pilot = encode_chips((1, 1), pilot_tone_bits=4)
+        assert len(pilot) == len(plain) + 8
+
+    def test_invalid_bits(self):
+        with pytest.raises(ProtocolError):
+            encode_chips((1, 2))
+
+
+class TestDecode:
+    def test_roundtrip(self, rng):
+        for _ in range(100):
+            bits = tuple(int(b) for b in rng.integers(0, 2, 16))
+            assert decode_chips(encode_chips(bits)) == bits
+
+    def test_roundtrip_no_preamble_no_dummy(self, rng):
+        bits = (0, 1, 1, 0)
+        chips = encode_chips(bits, include_preamble=False, dummy_bit=False)
+        assert decode_chips(chips, has_preamble=False, expect_dummy=False) == bits
+
+    def test_inverted_polarity(self, rng):
+        bits = tuple(int(b) for b in rng.integers(0, 2, 16))
+        inverted = tuple(1 - c for c in encode_chips(bits))
+        assert decode_chips(inverted) == bits
+
+    def test_bad_preamble_raises(self):
+        chips = list(encode_chips((1, 0)))
+        chips[2] ^= 1
+        with pytest.raises(DecodingError):
+            decode_chips(tuple(chips))
+
+    def test_violation_in_data_raises(self):
+        bits = (1, 1, 1)
+        chips = list(encode_chips(bits, include_preamble=False, dummy_bit=False))
+        chips[2] = chips[1]  # break the boundary inversion
+        with pytest.raises(DecodingError):
+            decode_chips(tuple(chips), has_preamble=False, expect_dummy=False)
+
+    def test_missing_dummy_raises(self):
+        chips = encode_chips((1, 0), dummy_bit=False)
+        with pytest.raises(DecodingError):
+            decode_chips(chips, expect_dummy=True)
+
+    def test_odd_length_raises(self):
+        with pytest.raises(DecodingError):
+            decode_chips((1, 0, 1))
+
+
+class TestWaveform:
+    def test_chips_to_waveform_levels(self):
+        waveform = chips_to_waveform((1, 0), samples_per_chip=3)
+        assert list(waveform) == [1.0, 1.0, 1.0, -1.0, -1.0, -1.0]
+
+    def test_waveform_roundtrip(self, rng):
+        chips = tuple(int(c) for c in rng.integers(0, 2, 40))
+        waveform = chips_to_waveform(chips, 5)
+        assert waveform_to_chips(waveform, 5) == chips
+
+    def test_waveform_roundtrip_with_noise(self, rng):
+        chips = tuple(int(c) for c in rng.integers(0, 2, 40))
+        waveform = chips_to_waveform(chips, 8) + rng.normal(0, 0.3, 320)
+        assert waveform_to_chips(waveform, 8) == chips
+
+    def test_symbol_duration(self):
+        assert symbol_duration_s(40e3) == pytest.approx(25e-6)
+
+    def test_short_waveform_raises(self):
+        with pytest.raises(DecodingError):
+            waveform_to_chips(np.ones(3), 5)

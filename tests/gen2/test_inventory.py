@@ -1,0 +1,103 @@
+"""Tests for repro.gen2.inventory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gen2.inventory import (
+    InventoryRound,
+    QAlgorithm,
+    inventory_until_quiet,
+)
+from repro.gen2.tag_state import Gen2Tag
+
+
+def make_tags(count, seed=0, powered=True):
+    tags = []
+    rng = np.random.default_rng(seed)
+    for index in range(count):
+        epc = tuple(int(b) for b in rng.integers(0, 2, 96))
+        tag = Gen2Tag(epc, np.random.default_rng(seed + 100 + index))
+        if powered:
+            tag.power_up()
+        tags.append(tag)
+    return tags
+
+
+class TestQAlgorithm:
+    def test_collision_raises_q(self):
+        algorithm = QAlgorithm(initial_q=4, c=0.5)
+        for _ in range(4):
+            algorithm.on_slot(3)
+        assert algorithm.q > 4
+
+    def test_empty_lowers_q(self):
+        algorithm = QAlgorithm(initial_q=4, c=0.5)
+        for _ in range(4):
+            algorithm.on_slot(0)
+        assert algorithm.q < 4
+
+    def test_singleton_keeps_q(self):
+        algorithm = QAlgorithm(initial_q=4)
+        algorithm.on_slot(1)
+        assert algorithm.q == 4
+
+    def test_bounds(self):
+        algorithm = QAlgorithm(initial_q=0, c=0.5)
+        for _ in range(10):
+            algorithm.on_slot(0)
+        assert algorithm.q == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QAlgorithm(initial_q=16)
+        with pytest.raises(ConfigurationError):
+            QAlgorithm(c=0.9)
+
+
+class TestInventoryRound:
+    def test_single_tag_q0(self):
+        tags = make_tags(1)
+        result = InventoryRound(tags).run(q=0)
+        assert len(result.epcs) == 1
+        assert result.n_singletons == 1
+
+    def test_two_tags_q0_collide(self):
+        tags = make_tags(2)
+        result = InventoryRound(tags).run(q=0)
+        assert result.n_collisions == 1
+        assert len(result.epcs) == 0
+
+    def test_unpowered_tags_silent(self):
+        tags = make_tags(3, powered=False)
+        result = InventoryRound(tags).run(q=2)
+        assert result.n_empty == len(result.slots)
+
+    def test_epcs_are_unique_tags(self):
+        tags = make_tags(3, seed=7)
+        result = InventoryRound(tags).run(q=4)
+        assert len(result.epcs) == len(set(result.epcs))
+
+    def test_max_slots_limits_round(self):
+        tags = make_tags(1)
+        result = InventoryRound(tags).run(q=6, max_slots=5)
+        assert len(result.slots) == 5
+
+
+class TestInventoryUntilQuiet:
+    def test_reads_all_tags(self, rng):
+        tags = make_tags(8, seed=21)
+        epcs, rounds = inventory_until_quiet(tags, rng, initial_q=3)
+        assert len(epcs) == 8
+        assert rounds >= 1
+
+    def test_empty_population(self, rng):
+        epcs, rounds = inventory_until_quiet([], rng)
+        assert epcs == []
+        assert rounds == 1
+
+    def test_single_tag_quick(self, rng):
+        tags = make_tags(1, seed=5)
+        epcs, rounds = inventory_until_quiet(tags, rng, initial_q=0)
+        assert len(epcs) == 1
+        assert rounds <= 3

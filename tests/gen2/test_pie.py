@@ -1,0 +1,86 @@
+"""Tests for repro.gen2.pie."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecodingError, ProtocolError
+from repro.gen2.pie import PIEDecoder, PIEEncoder, PIETiming
+
+
+class TestTiming:
+    def test_derived_intervals(self):
+        timing = PIETiming(tari_s=12.5e-6, data1_factor=2.0)
+        assert timing.data0_s == pytest.approx(12.5e-6)
+        assert timing.data1_s == pytest.approx(25e-6)
+        assert timing.rtcal_s == pytest.approx(37.5e-6)
+        assert timing.trcal_s == pytest.approx(56.25e-6)
+
+    def test_blf_from_trcal(self):
+        timing = PIETiming()
+        blf = timing.backscatter_link_frequency_hz(divide_ratio=8.0)
+        assert blf == pytest.approx(8.0 / timing.trcal_s)
+
+    def test_command_duration_counts_bits(self):
+        timing = PIETiming()
+        short = timing.command_duration_s((0,) * 4)
+        longer = timing.command_duration_s((1,) * 4)
+        assert longer > short
+
+    def test_typical_query_near_800us(self):
+        """Sec. 3.6 assumes a typical reader query of ~800 us; a 22-bit
+        Query at 25 us Tari should be in that ballpark."""
+        timing = PIETiming(tari_s=25e-6)
+        duration = timing.command_duration_s((1, 0) * 11)
+        assert 0.5e-3 < duration < 1.2e-3
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            PIETiming(tari_s=0)
+        with pytest.raises(ProtocolError):
+            PIETiming(data1_factor=1.0)
+        with pytest.raises(ProtocolError):
+            PIETiming(trcal_factor=5.0)
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("preamble", [True, False])
+    def test_roundtrip(self, rng, preamble):
+        encoder = PIEEncoder()
+        decoder = PIEDecoder()
+        for _ in range(20):
+            bits = tuple(int(b) for b in rng.integers(0, 2, 22))
+            envelope = encoder.encode(bits, preamble=preamble)
+            decoded, rtcal = decoder.decode(envelope, has_trcal=preamble)
+            assert decoded == bits
+            assert rtcal == pytest.approx(encoder.timing.rtcal_s, rel=0.05)
+
+    def test_envelope_binary(self):
+        envelope = PIEEncoder().encode((1, 0, 1))
+        assert set(np.unique(envelope)) <= {0.0, 1.0}
+
+    def test_envelope_starts_low_delimiter(self):
+        envelope = PIEEncoder().encode((1,))
+        delimiter_samples = int(12.5e-6 * 1e6)
+        assert np.all(envelope[:delimiter_samples] == 0.0)
+
+    def test_decoder_noise_tolerance(self, rng):
+        encoder = PIEEncoder()
+        decoder = PIEDecoder()
+        bits = (1, 0, 0, 1, 1, 0)
+        envelope = encoder.encode(bits)
+        noisy = np.clip(envelope + rng.normal(0, 0.1, envelope.size), 0, 1.2)
+        decoded, _ = decoder.decode(noisy)
+        assert decoded == bits
+
+    def test_decode_garbage_raises(self):
+        decoder = PIEDecoder()
+        with pytest.raises(DecodingError):
+            decoder.decode(np.ones(100))
+
+    def test_sample_rate_guard(self):
+        with pytest.raises(ProtocolError):
+            PIEEncoder(sample_rate_hz=1e3)
+
+    def test_invalid_bit_rejected(self):
+        with pytest.raises(ProtocolError):
+            PIEEncoder().encode((1, 2))

@@ -1,0 +1,96 @@
+"""Tests for repro.harvester.tag_power."""
+
+import numpy as np
+import pytest
+
+from repro.em import media
+from repro.errors import ConfigurationError
+from repro.harvester.tag_power import HarvesterFrontEnd, TagPowerModel
+from repro.rf.antenna import MINIATURE_TAG_ANTENNA, STANDARD_TAG_ANTENNA
+
+F = 915e6
+
+
+@pytest.fixture
+def standard_front_end():
+    return HarvesterFrontEnd(antenna=STANDARD_TAG_ANTENNA)
+
+
+class TestFrontEnd:
+    def test_voltage_grows_with_field(self, standard_front_end):
+        low = standard_front_end.input_voltage_amplitude_v(1.0, media.AIR, F)
+        high = standard_front_end.input_voltage_amplitude_v(2.0, media.AIR, F)
+        assert high == pytest.approx(2.0 * low)
+
+    def test_miniature_harvests_less(self):
+        mini = HarvesterFrontEnd(antenna=MINIATURE_TAG_ANTENNA)
+        standard = HarvesterFrontEnd(antenna=STANDARD_TAG_ANTENNA)
+        assert mini.available_power_w(1.0, media.AIR, F) < 0.05 * (
+            standard.available_power_w(1.0, media.AIR, F)
+        )
+
+    def test_liquid_detuning_applies_only_in_liquid(self):
+        detuned = HarvesterFrontEnd(
+            antenna=STANDARD_TAG_ANTENNA, liquid_aperture_factor=0.25
+        )
+        air_aperture = detuned.effective_aperture_in(media.AIR, F)
+        water_aperture = detuned.effective_aperture_in(media.WATER, F)
+        assert water_aperture == pytest.approx(0.25 * air_aperture)
+
+    def test_voltage_from_power(self, standard_front_end):
+        voltage = standard_front_end.voltage_from_power(1e-5)
+        assert voltage == pytest.approx(np.sqrt(2 * 1e-5 * 1500))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HarvesterFrontEnd(antenna=STANDARD_TAG_ANTENNA, chip_resistance_ohms=0)
+        with pytest.raises(ConfigurationError):
+            HarvesterFrontEnd(
+                antenna=STANDARD_TAG_ANTENNA, liquid_aperture_factor=0
+            )
+
+
+class TestTagPowerModel:
+    def test_minimum_input_voltage(self, standard_front_end):
+        model = TagPowerModel(standard_front_end, n_stages=4, threshold_v=0.3)
+        # V_th + V_operate / N = 0.3 + 1.8 / 4.
+        assert model.minimum_input_voltage_v() == pytest.approx(0.75)
+
+    def test_fast_threshold_test(self, standard_front_end):
+        model = TagPowerModel(standard_front_end)
+        assert model.powers_up_at_peak(0.80)
+        assert not model.powers_up_at_peak(0.70)
+
+    def test_envelope_evaluation_matches_threshold(self, standard_front_end):
+        model = TagPowerModel(standard_front_end)
+        dt = 1e-5
+        strong = np.full(20000, 1.2)
+        weak = np.full(20000, 0.5)
+        assert model.evaluate_envelope(strong, dt).powered
+        assert not model.evaluate_envelope(weak, dt).powered
+
+    def test_duty_cycled_envelope_accumulates(self, standard_front_end):
+        """A CIB-like peaky envelope still powers the tag (Fig. 5b)."""
+        model = TagPowerModel(standard_front_end)
+        dt = 1e-5
+        envelope = np.zeros(30000)
+        envelope[::100] = 3.0  # sparse tall peaks
+        result = model.evaluate_envelope(envelope, dt)
+        assert result.peak_input_voltage_v == pytest.approx(3.0)
+        assert result.powered
+
+    def test_conduction_angle_reported(self, standard_front_end):
+        model = TagPowerModel(standard_front_end)
+        result = model.evaluate_envelope(np.full(1000, 0.6), 1e-5)
+        assert result.conduction_angle_rad > 0
+
+    def test_eq1_passthrough(self, standard_front_end):
+        model = TagPowerModel(standard_front_end, n_stages=4, threshold_v=0.3)
+        assert model.eq1_output_voltage(0.5) == pytest.approx(0.8)
+
+    def test_invalid_envelope(self, standard_front_end):
+        model = TagPowerModel(standard_front_end)
+        with pytest.raises(ValueError):
+            model.evaluate_envelope(np.array([]), 1e-5)
+        with pytest.raises(ValueError):
+            model.powers_up_at_peak(-1.0)

@@ -1,0 +1,80 @@
+"""Integration: the Sec. 3.7 two-stage flow driven by real link trials."""
+
+import numpy as np
+import pytest
+
+from repro.core import DiscoveryObservation, DiscoveryProcedure, TwoStageController
+from repro.core.plan import paper_plan
+from repro.em import GASTRIC_CONTENT, SwinePhantom, WATER, WaterTankPhantom
+from repro.reader import IvnLink
+from repro.sensors import standard_tag_spec
+
+
+def link_trial_factory(link, channel_factory, medium, seed):
+    counter = {"seed": seed}
+
+    def trial(period):
+        rng = np.random.default_rng(counter["seed"] + period)
+        channel = channel_factory(rng)
+        result = link.run_trial(channel, medium, rng)
+        return DiscoveryObservation(
+            responded=result.success,
+            correlation=result.correlation,
+            peak_input_voltage_v=result.peak_input_voltage_v,
+        )
+
+    return trial
+
+
+class TestDiscoveryOverLink:
+    def test_discovers_reachable_water_sensor(self):
+        tank = WaterTankPhantom(standoff_m=0.9)
+        link = IvnLink(paper_plan(), standard_tag_spec(), eirp_per_branch_w=6.0)
+        spec = standard_tag_spec()
+        procedure = DiscoveryProcedure(
+            paper_plan(),
+            threshold_voltage_v=spec.minimum_input_voltage_v(),
+            max_periods=12,
+        )
+        controller = TwoStageController(paper_plan())
+        trial = link_trial_factory(
+            link, lambda rng: tank.channel(10, 0.08, 915e6, rng=rng),
+            WATER, seed=100,
+        )
+        outcome = procedure.drive_two_stage(controller, trial)
+        assert outcome.found
+        assert outcome.estimated_margin > 1.0
+        assert controller.stage == "steady"
+        # The steady plan still honors the communication constraints.
+        steady = controller.active_plan
+        assert steady.is_cyclic(1.0)
+
+    def test_unreachable_sensor_stays_in_discovery(self):
+        tank = WaterTankPhantom(standoff_m=0.9)
+        link = IvnLink(paper_plan(), standard_tag_spec(), eirp_per_branch_w=6.0)
+        procedure = DiscoveryProcedure(paper_plan(), max_periods=6)
+        controller = TwoStageController(paper_plan())
+        trial = link_trial_factory(
+            link, lambda rng: tank.channel(10, 0.45, 915e6, rng=rng),
+            WATER, seed=200,
+        )
+        outcome = procedure.drive_two_stage(controller, trial)
+        assert not outcome.found
+        assert controller.stage == "discovery"
+
+    def test_gastric_sensor_found_intermittently(self):
+        """The in-vivo regime: responses come and go with placement."""
+        phantom = SwinePhantom()
+        link = IvnLink(
+            paper_plan().subset(8), standard_tag_spec(), eirp_per_branch_w=6.0
+        )
+        procedure = DiscoveryProcedure(paper_plan().subset(8), max_periods=20)
+        trial = link_trial_factory(
+            link,
+            lambda rng: phantom.channel("gastric", 8, 915e6, rng),
+            GASTRIC_CONTENT,
+            seed=300,
+        )
+        outcome = procedure.scan(trial, stop_after_responses=2)
+        assert outcome.found
+        assert 0.0 < outcome.response_rate <= 1.0

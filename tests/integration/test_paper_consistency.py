@@ -1,0 +1,80 @@
+"""Cross-experiment consistency: the paper's own sanity arguments.
+
+Section 6.1.2 argues its results cohere: "the maximum range for both
+types of tags increases by about 7.6x with 8 antennas. By comparison, the
+power gain from 8 antennas is around 55x... theoretically compatible
+because power decays quadratically with range; hence the expected range
+gain is sqrt(55) ~ 7.4". These tests run the same cross-checks on the
+reproduction's numbers.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig05, fig06, fig09, fig11, fig13
+
+
+@pytest.fixture(scope="module")
+def gain_result():
+    return fig09.run(fig09.Fig09Config(n_trials=30))
+
+
+@pytest.fixture(scope="module")
+def range_result():
+    return fig13.run(fig13.Fig13Config(antenna_counts=(1, 8), n_trials=7))
+
+
+class TestRangeGainVsPowerGain:
+    def test_sqrt_relation_standard_tag(self, gain_result, range_result):
+        """Range gain ~ sqrt(peak power gain) in air (Sec. 6.1.2)."""
+        power_gain_8 = gain_result.medians[7]  # 8 antennas
+        expected_range_gain = math.sqrt(power_gain_8)
+        measured = range_result.range_gain("standard", "air")
+        assert measured == pytest.approx(expected_range_gain, rel=0.15)
+
+    def test_both_tags_same_relative_gain(self, range_result):
+        """The range *multiplier* is tag-independent (the beamformer's)."""
+        standard = range_result.range_gain("standard", "air")
+        miniature = range_result.range_gain("miniature", "air")
+        assert standard == pytest.approx(miniature, rel=0.1)
+
+
+class TestGainExperimentsAgree:
+    def test_fig09_and_fig11_ten_antenna_levels_match(self, gain_result):
+        """Fig. 9's 10-antenna point and Fig. 11's water bar measure the
+        same quantity in nearly the same setup."""
+        media_result = fig11.run(fig11.Fig11Config(n_trials=25))
+        fig9_level = gain_result.medians[9]
+        water_index = [row[0] for row in media_result.rows].index("water")
+        fig11_level = media_result.rows[water_index][1]
+        assert fig11_level == pytest.approx(fig9_level, rel=0.25)
+
+    def test_fig06_best_set_consistent_with_fig05_coverage(self):
+        """A frequency set achieving ~all of N^2 (Fig. 6 best) implies CIB
+        reaches ~every location at sub-N thresholds (Fig. 5)."""
+        selection = fig06.run(fig06.Fig06Config.fast())
+        coverage = fig05.run(fig05.Fig05Config.fast())
+        best_median_fraction = float(
+            np.median(selection.best_gains)
+        ) / selection.optimal_gain
+        reached = {row[0]: row[2] for row in coverage.rows}
+        if best_median_fraction > 0.9:
+            assert reached[3.0] == 1.0
+
+    def test_water_depth_follows_log_law(self, range_result, gain_result):
+        """Fig. 13c/d: depth gain = ln(power gain)/(2 alpha) -- check the
+        8-antenna depth against the Fig. 9 power gain and the water
+        attenuation actually configured."""
+        from repro.em.media import WATER
+
+        alpha = WATER.attenuation_np_per_m(915e6)
+        power_gain_8 = gain_result.medians[7]
+        depth_8 = range_result.panels[("standard", "water")][1][1]
+        # Depth from zero (1-antenna can't power at the surface) is the
+        # margin above threshold at the surface plus the gain headroom:
+        # bound it by the pure-gain prediction.
+        max_depth_from_gain = math.log(power_gain_8) / (2 * alpha)
+        assert depth_8 <= max_depth_from_gain * 1.8
+        assert depth_8 >= max_depth_from_gain * 0.5

@@ -1,0 +1,111 @@
+"""Property-based tests on the CIB waveform math and constraints."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import waveform
+from repro.core.constraints import FlatnessConstraint
+from repro.core.optimizer import peak_amplitudes_fft
+
+offset_sets = st.lists(
+    st.integers(0, 180), min_size=2, max_size=10, unique=True
+).map(lambda values: tuple(sorted(values)))
+
+phases = st.floats(0.0, 2.0 * math.pi, allow_nan=False)
+
+
+class TestEnvelopeInvariants:
+    @settings(max_examples=40)
+    @given(offset_sets, st.integers(0, 2**32 - 1))
+    def test_envelope_bounded_by_n(self, offsets, seed):
+        rng = np.random.default_rng(seed)
+        betas = rng.uniform(0, 2 * math.pi, len(offsets))
+        t = waveform.time_grid(np.array(offsets, float), 1.0, oversample=8)
+        y = waveform.envelope(np.array(offsets, float), betas, t)
+        assert np.all(y <= len(offsets) + 1e-9)
+        assert np.all(y >= -1e-12)
+
+    @settings(max_examples=40)
+    @given(offset_sets, st.integers(0, 2**32 - 1))
+    def test_periodicity_one_second(self, offsets, seed):
+        rng = np.random.default_rng(seed)
+        betas = rng.uniform(0, 2 * math.pi, len(offsets))
+        t = rng.uniform(0, 1, 16)
+        early = waveform.envelope(np.array(offsets, float), betas, t)
+        late = waveform.envelope(np.array(offsets, float), betas, t + 1.0)
+        assert np.allclose(early, late, atol=1e-8)
+
+    @settings(max_examples=40)
+    @given(offset_sets, st.integers(0, 2**32 - 1))
+    def test_average_power_is_carrier_count(self, offsets, seed):
+        """Frequency encoding conserves average energy (Sec. 3.4)."""
+        rng = np.random.default_rng(seed)
+        betas = rng.uniform(0, 2 * math.pi, len(offsets))
+        average = waveform.average_power(
+            np.array(offsets, float), betas, oversample=32
+        )
+        assert average == pytest.approx(len(offsets), rel=0.05)
+
+    @settings(max_examples=30)
+    @given(offset_sets, st.integers(0, 2**32 - 1))
+    def test_fft_peak_matches_grid_peak(self, offsets, seed):
+        rng = np.random.default_rng(seed)
+        betas = rng.uniform(0, 2 * math.pi, (1, len(offsets)))
+        fft_peak = peak_amplitudes_fft(offsets, betas, grid_size=8192)[0]
+        t = np.linspace(0, 1, 8192, endpoint=False)
+        direct = np.max(
+            waveform.envelope(np.array(offsets, float), betas[0], t)
+        )
+        assert abs(fft_peak - direct) < 1e-9
+
+    @settings(max_examples=30)
+    @given(offset_sets, st.integers(0, 2**32 - 1), st.floats(0.1, 0.9))
+    def test_conduction_fraction_monotone_in_threshold(
+        self, offsets, seed, fraction
+    ):
+        rng = np.random.default_rng(seed)
+        betas = rng.uniform(0, 2 * math.pi, len(offsets))
+        n = len(offsets)
+        low = waveform.conduction_fraction(
+            np.array(offsets, float), betas, fraction * n * 0.5
+        )
+        high = waveform.conduction_fraction(
+            np.array(offsets, float), betas, fraction * n
+        )
+        assert low >= high
+
+
+class TestConstraintProperties:
+    @settings(max_examples=50)
+    @given(
+        st.floats(0.05, 0.5, allow_nan=False),
+        st.floats(1e-4, 5e-3, allow_nan=False),
+    )
+    def test_rms_bound_formula(self, alpha, dt):
+        constraint = FlatnessConstraint(alpha=alpha, query_duration_s=dt)
+        expected = math.sqrt(alpha / (2 * math.pi**2 * dt**2))
+        assert constraint.max_rms_offset_hz == pytest.approx(expected)
+
+    @settings(max_examples=50)
+    @given(offset_sets)
+    def test_satisfied_iff_mean_square_within(self, offsets):
+        constraint = FlatnessConstraint()
+        mean_square = float(np.mean(np.square(offsets)))
+        assert constraint.satisfied_by(offsets) == (
+            mean_square <= constraint.max_mean_square_offset_hz2
+        )
+
+    @settings(max_examples=25)
+    @given(offset_sets)
+    def test_eq8_bounds_measured_fluctuation(self, offsets):
+        """The first-order prediction is an upper bound near the peak."""
+        constraint = FlatnessConstraint()
+        measured = waveform.worst_case_peak_fluctuation(
+            np.array(offsets, float), window_s=constraint.query_duration_s
+        )
+        predicted = constraint.predicted_peak_fluctuation(offsets)
+        assert measured <= predicted + 1e-9

@@ -1,0 +1,97 @@
+"""Tests for repro.reader.link (the end-to-end system)."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import paper_plan, single_antenna_plan
+from repro.em.media import AIR, WATER
+from repro.em.phantoms import WaterTankPhantom
+from repro.errors import ConfigurationError
+from repro.reader.link import IvnLink, branch_eirp_w
+from repro.sensors.tags import miniature_tag_spec, standard_tag_spec
+
+
+@pytest.fixture
+def air_tank():
+    return WaterTankPhantom(medium=AIR, standoff_m=3.0)
+
+
+class TestBranchEirp:
+    def test_nominal(self):
+        # 30 dBm through the PA model plus 7 dBi: ~36.3 dBm = ~4.3 W.
+        assert branch_eirp_w(30.0) == pytest.approx(4.28, rel=0.05)
+
+    def test_low_power_linear(self):
+        assert branch_eirp_w(10.0) == pytest.approx(0.05, rel=0.05)
+
+
+class TestLinkTrial:
+    def test_close_range_succeeds(self, air_tank, rng):
+        link = IvnLink(paper_plan(), standard_tag_spec())
+        channel = air_tank.channel(10, 0.0, 915e6, rng=rng)
+        result = link.run_trial(channel, AIR, rng)
+        assert result.powered
+        assert result.query_decoded
+        assert result.reply_sent
+        assert result.success
+        assert result.correlation > 0.8
+        assert result.capture_waveform is not None
+
+    def test_flatness_respected_at_peak(self, air_tank, rng):
+        link = IvnLink(paper_plan(), standard_tag_spec())
+        channel = air_tank.channel(10, 0.0, 915e6, rng=rng)
+        result = link.run_trial(channel, AIR, rng)
+        assert result.query_fluctuation <= standard_tag_spec().max_query_fluctuation
+
+    def test_far_range_fails_to_power(self, rng):
+        far_tank = WaterTankPhantom(medium=AIR, standoff_m=300.0)
+        link = IvnLink(single_antenna_plan(), standard_tag_spec())
+        channel = far_tank.channel(1, 0.0, 915e6, rng=rng)
+        result = link.run_trial(channel, AIR, rng)
+        assert not result.powered
+        assert not result.success
+        assert "below minimum" in result.notes
+
+    def test_miniature_needs_more_power(self, rng):
+        tank = WaterTankPhantom(medium=AIR, standoff_m=2.0)
+        standard_link = IvnLink(single_antenna_plan(), standard_tag_spec())
+        miniature_link = IvnLink(single_antenna_plan(), miniature_tag_spec())
+        channel = tank.channel(1, 0.0, 915e6, rng=rng)
+        standard = standard_link.run_trial(channel, AIR, rng)
+        miniature = miniature_link.run_trial(channel, AIR, rng)
+        assert standard.powered
+        assert not miniature.powered
+
+    def test_eirp_override(self, rng):
+        link = IvnLink(
+            paper_plan(), standard_tag_spec(), eirp_per_branch_w=12.0
+        )
+        assert link.eirp_per_branch_w() == 12.0
+
+    def test_water_depth_link(self, rng):
+        tank = WaterTankPhantom(standoff_m=0.9)
+        link = IvnLink(paper_plan(), standard_tag_spec(), eirp_per_branch_w=6.0)
+        channel = tank.channel(10, 0.05, 915e6, rng=rng)
+        result = link.run_trial(channel, WATER, rng)
+        assert result.powered
+        assert result.success
+
+    def test_jamming_estimate_reasonable(self):
+        link = IvnLink(paper_plan(), standard_tag_spec())
+        estimate = link.jamming_estimate()
+        assert estimate.peak_power_w > estimate.incident_power_w
+        assert estimate.residual_power_w < 1e-3 * estimate.peak_power_w
+
+    def test_channel_antenna_mismatch_raises(self, air_tank, rng):
+        link = IvnLink(paper_plan(), standard_tag_spec())
+        channel = air_tank.channel(4, 0.0, 915e6, rng=rng)
+        with pytest.raises(ConfigurationError):
+            link.run_trial(channel, AIR, rng)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IvnLink(paper_plan(), standard_tag_spec(), n_averaging_periods=0)
+        with pytest.raises(ConfigurationError):
+            IvnLink(paper_plan(), standard_tag_spec(), reader_distance_m=0)
+        with pytest.raises(ConfigurationError):
+            IvnLink(paper_plan(), standard_tag_spec(), eirp_per_branch_w=-1.0)

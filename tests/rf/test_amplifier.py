@@ -1,0 +1,54 @@
+"""Tests for repro.rf.amplifier."""
+
+import numpy as np
+import pytest
+from scipy.optimize import brentq
+
+from repro.errors import ConfigurationError
+from repro.rf.amplifier import PowerAmplifier
+
+
+class TestPowerAmplifier:
+    def test_small_signal_gain(self):
+        pa = PowerAmplifier(gain_db=20.0)
+        tiny = np.array([1e-6 + 0j])
+        out = pa.amplify(tiny)
+        assert abs(out[0]) == pytest.approx(1e-6 * 10.0, rel=1e-3)
+
+    def test_p1db_point_is_honored(self):
+        pa = PowerAmplifier(gain_db=20.0, p1db_dbm=30.0)
+        v_at_1db = brentq(lambda v: pa.compression_db(v) - 1.0, 1e-6, 10.0)
+        assert pa.output_power_dbm(v_at_1db) == pytest.approx(30.0, abs=0.05)
+
+    def test_saturation_monotone(self):
+        pa = PowerAmplifier()
+        drives = np.linspace(0.01, 5.0, 50)
+        outputs = [abs(pa.amplify(np.array([complex(d, 0)]))[0]) for d in drives]
+        assert all(b >= a for a, b in zip(outputs, outputs[1:]))
+        assert outputs[-1] <= pa.saturation_amplitude_v
+
+    def test_compression_grows_with_drive(self):
+        pa = PowerAmplifier()
+        assert pa.compression_db(0.001) < 0.01
+        assert pa.compression_db(1.0) > pa.compression_db(0.1)
+
+    def test_zero_input_passes(self):
+        pa = PowerAmplifier()
+        out = pa.amplify(np.zeros(4, dtype=complex))
+        assert np.allclose(out, 0.0)
+
+    def test_phase_preserved(self):
+        pa = PowerAmplifier()
+        sample = np.array([0.05 * np.exp(1j * 0.7)])
+        out = pa.amplify(sample)
+        assert np.angle(out[0]) == pytest.approx(0.7)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerAmplifier(smoothness=0)
+        with pytest.raises(ConfigurationError):
+            PowerAmplifier(load_ohms=-1)
+
+    def test_output_power_negative_input_rejected(self):
+        with pytest.raises(ValueError):
+            PowerAmplifier().output_power_dbm(-1.0)
