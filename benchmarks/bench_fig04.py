@@ -14,6 +14,7 @@ from conftest import run_once
 def test_fig04_threshold_regimes(benchmark, emit):
     result = run_once(benchmark, lambda: fig04.run(fig04.Fig04Config()))
     emit(result.table())
+    emit(result.monte_carlo_table())
     air, shallow, deep = result.rows
     # Voltage and conduction angle decay monotonically with depth.
     assert air[1] > shallow[1] > deep[1]
@@ -22,3 +23,11 @@ def test_fig04_threshold_regimes(benchmark, emit):
     assert deep[2] == 0.0 and deep[4] == 0.0
     # CIB's peak revives it.
     assert result.cib_deep_conduction_rad > 1.0
+    # The Monte-Carlo study: nearly every blind phase draw clears the
+    # diode threshold at the deep location, with a peak factor near the
+    # sqrt(N) to N band.
+    assert result.n_trials == 500
+    assert 5.0 < result.peak_factor_median < 10.0
+    assert result.peak_factor_p10 < result.peak_factor_median
+    assert result.peak_factor_median < result.peak_factor_p90
+    assert result.above_threshold_fraction > 0.95

@@ -6,9 +6,27 @@ prints the same rows/series the paper reports. Run with::
     pytest benchmarks/ --benchmark-only -s
 
 The ``-s`` flag shows the reproduced tables inline.
+
+Every ``run_once`` call also records the bench's wall-clock time and the
+number of Monte-Carlo trials the :mod:`repro.runtime` engine processed
+during it; the session writes the rows to ``BENCH_runtime.json`` at the
+repo root so throughput regressions show up in review diffs.
 """
 
+import json
+import time
+from pathlib import Path
+
 import pytest
+
+from repro.runtime import get_instrumentation
+
+_RUNTIME_ROWS = []
+
+
+def _engine_trials() -> int:
+    """Total trials the runtime instrumentation has seen so far."""
+    return sum(row[3] for row in get_instrumentation().rows())
 
 
 def run_once(benchmark, fn):
@@ -18,7 +36,33 @@ def run_once(benchmark, fn):
     gives the wall-clock cost of regenerating the figure while keeping the
     suite fast.
     """
-    return benchmark.pedantic(fn, iterations=1, rounds=1)
+    trials_before = _engine_trials()
+    start = time.perf_counter()
+    result = benchmark.pedantic(fn, iterations=1, rounds=1)
+    wall_s = time.perf_counter() - start
+    trials = _engine_trials() - trials_before
+    _RUNTIME_ROWS.append(
+        {
+            "bench": benchmark.name,
+            "wall_s": round(wall_s, 4),
+            "engine_trials": trials,
+            "trials_per_s": (
+                round(trials / wall_s, 1) if wall_s > 0 and trials else 0.0
+            ),
+        }
+    )
+    return result
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RUNTIME_ROWS:
+        return
+    path = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+    payload = {
+        "total_wall_s": round(sum(r["wall_s"] for r in _RUNTIME_ROWS), 4),
+        "benches": _RUNTIME_ROWS,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 @pytest.fixture

@@ -48,6 +48,14 @@ def _power_scale(power_mode: str, n_antennas: int) -> float:
 class TransmitterStrategy(ABC):
     """Common interface: the envelope a strategy produces at the sensor."""
 
+    TIME_INVARIANT = False
+    """True when the received envelope is constant over a capture window.
+
+    Time-invariant strategies draw nothing from the trial RNG and their
+    peak equals the envelope at any single instant, which lets the batched
+    runtime (:mod:`repro.runtime.engine`) evaluate them in O(1) samples.
+    """
+
     @property
     @abstractmethod
     def n_antennas(self) -> int:
@@ -94,6 +102,8 @@ class SingleAntennaTransmitter(TransmitterStrategy):
     making every reported beamforming gain conservative; pass ``index`` to
     pin a specific element instead.
     """
+
+    TIME_INVARIANT = True
 
     def __init__(self, index: Optional[int] = None):
         self._index = index
@@ -150,6 +160,16 @@ class BlindSameFrequencyTransmitter(TransmitterStrategy):
     def n_antennas(self) -> int:
         return self._n_antennas
 
+    @property
+    def power_scale(self) -> float:
+        """Per-antenna amplitude scale implied by the power mode."""
+        return self._scale
+
+    @property
+    def residual_offset_std_hz(self) -> float:
+        """Std-dev of the per-antenna residual frequency offset."""
+        return self._residual_std
+
     def received_envelope(
         self,
         realization: ChannelRealization,
@@ -181,6 +201,8 @@ class BeamsteeringTransmitter(TransmitterStrategy):
     blind baseline -- exactly footnote 5's observation.
     """
 
+    TIME_INVARIANT = True
+
     def __init__(self, assumed_phases: np.ndarray, power_mode: str = "per_antenna"):
         self._assumed = np.asarray(assumed_phases, dtype=float)
         if self._assumed.ndim != 1 or self._assumed.size == 0:
@@ -210,6 +232,8 @@ class OracleMRTTransmitter(TransmitterStrategy):
     before power-up) but a useful upper bound: its envelope is the
     amplitude sum ``sum |h_i|`` at every instant.
     """
+
+    TIME_INVARIANT = True
 
     def __init__(self, n_antennas: int, power_mode: str = "per_antenna"):
         if n_antennas < 1:
@@ -247,6 +271,11 @@ class CIBTransmitter(TransmitterStrategy):
     @property
     def n_antennas(self) -> int:
         return self.plan.n_antennas
+
+    @property
+    def power_scale(self) -> float:
+        """Per-antenna amplitude scale implied by the power mode."""
+        return self._scale
 
     def received_envelope(
         self,

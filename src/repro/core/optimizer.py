@@ -58,25 +58,44 @@ def peak_amplitudes_fft(
     betas: np.ndarray,
     grid_size: int = DEFAULT_GRID_SIZE,
     amplitudes: Optional[np.ndarray] = None,
+    duration_s: float = 1.0,
 ) -> np.ndarray:
     """Peak envelope per channel draw via inverse FFT.
 
+    On a uniform ``grid_size``-point grid over ``duration_s`` seconds, each
+    carrier at ``df_i`` lands exactly on DFT bin ``df_i * duration_s`` when
+    that product is an integer, so the envelope is an inverse DFT of a
+    sparse spectrum — identical samples to the direct evaluation, computed
+    in O(M log M) per draw.
+
     Args:
-        offsets_hz: Integer offsets (cycles per period).
+        offsets_hz: Offsets whose products with ``duration_s`` are distinct
+            integers (cycles per observation window).
         betas: Phase draws, shape (D, N).
-        grid_size: Number of time samples across the 1-second period.
-        amplitudes: Optional per-antenna amplitudes.
+        grid_size: Number of time samples across the window.
+        amplitudes: Optional per-antenna amplitudes, shape (N,), or one
+            vector per draw, shape (D, N).
+        duration_s: Observation window length in seconds.
 
     Returns:
         Shape (D,) array of ``max_t |y_d(t)|``.
     """
-    offsets = np.asarray(offsets_hz)
-    if np.any(offsets != np.round(offsets)):
-        raise ValueError("FFT evaluation requires integer offsets")
-    offsets = offsets.astype(int)
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    bins = np.asarray(offsets_hz, dtype=float) * duration_s
+    if np.any(bins != np.round(bins)):
+        raise ValueError(
+            "FFT evaluation requires offsets_hz * duration_s to be integers"
+        )
+    offsets = np.round(bins).astype(int)
     if np.any(offsets < 0) or np.any(offsets >= grid_size // 2):
         raise ValueError(
-            f"offsets must lie in [0, {grid_size // 2}), got max {offsets.max()}"
+            f"offset bins must lie in [0, {grid_size // 2}), got max "
+            f"{offsets.max()}"
+        )
+    if np.unique(offsets).size != offsets.size:
+        raise ValueError(
+            "offsets_hz * duration_s must map to distinct FFT bins"
         )
     betas = np.atleast_2d(np.asarray(betas, dtype=float))
     n_draws = betas.shape[0]
@@ -86,7 +105,12 @@ def peak_amplitudes_fft(
         else np.asarray(amplitudes, dtype=float)
     )
     spectrum = np.zeros((n_draws, grid_size), dtype=complex)
-    spectrum[:, offsets] = weights[None, :] * np.exp(1j * betas)
+    if weights.ndim == 2:
+        if weights.shape != betas.shape:
+            raise ValueError("2-D amplitudes must match the betas shape")
+        spectrum[:, offsets] = weights * np.exp(1j * betas)
+    else:
+        spectrum[:, offsets] = weights[None, :] * np.exp(1j * betas)
     # ifft includes a 1/M factor; scale back so bins sum like carriers.
     signal = np.fft.ifft(spectrum, axis=1) * grid_size
     return np.max(np.abs(signal), axis=1)

@@ -168,18 +168,18 @@ class TwoStageController:
             )
         if self._steady_cache is not None and self._steady_cache[0] == margin:
             return self._steady_cache[1]
-        from repro.core.optimizer import FrequencyOptimizer
+        from repro.runtime.cache import optimized_conduction_plan
 
-        optimizer = FrequencyOptimizer(
+        threshold = self.discovery_plan.n_antennas / margin
+        result = optimized_conduction_plan(
             self.discovery_plan.n_antennas,
+            threshold,
             constraint=self.constraint,
             center_frequency_hz=self.discovery_plan.center_frequency_hz,
             n_draws=32,
             seed=0,
-        )
-        threshold = self.discovery_plan.n_antennas / margin
-        result = optimizer.optimize_conduction(
-            threshold, n_candidates=40, refine_rounds=1
+            n_candidates=40,
+            refine_rounds=1,
         )
         self._steady_cache = (margin, result.plan)
         return result.plan

@@ -52,7 +52,8 @@ def complex_baseband(
         offsets_hz: Frequency offsets, shape (N,).
         betas: Unknown phases, shape (N,) or (D, N) for D channel draws.
         t: Time samples, shape (T,).
-        amplitudes: Optional per-antenna amplitudes, shape (N,).
+        amplitudes: Optional per-antenna amplitudes, shape (N,), or one
+            amplitude vector per draw, shape (D, N) matching ``betas``.
 
     Returns:
         Array of shape (T,) for 1-D betas or (D, T) for 2-D betas.
@@ -70,8 +71,10 @@ def complex_baseband(
     weights = (
         np.ones(offsets.size) if amplitudes is None else np.asarray(amplitudes, float)
     )
-    if weights.shape != offsets.shape:
-        raise ValueError("amplitudes must have the same shape as offsets_hz")
+    if weights.shape != offsets.shape and weights.shape != betas.shape:
+        raise ValueError(
+            "amplitudes must have the same shape as offsets_hz or betas"
+        )
 
     # phase[..., i, k] = 2 pi df_i t_k + beta[..., i]
     phase = (

@@ -13,13 +13,10 @@
   offsets raises the conduction fraction at a known link margin.
 """
 
-import math
 from dataclasses import dataclass
-from typing import List, Tuple
 
 import numpy as np
 
-from repro.analysis.mc import spawn_rngs
 from repro.analysis.stats import percentile_summary
 from repro.core.baselines import (
     BeamsteeringTransmitter,
@@ -29,21 +26,49 @@ from repro.core.baselines import (
 from repro.core.constraints import FlatnessConstraint
 from repro.core.plan import CarrierPlan, paper_plan
 from repro.core.scheduler import TwoStageController
-from repro.core.waveform import fluctuation_over_window, worst_case_peak_fluctuation
+from repro.core.waveform import worst_case_peak_fluctuation
 from repro.em.media import AIR, STEAK, WATER
 from repro.em.phantoms import WaterTankPhantom
-from repro.experiments.common import measure_strategy_gains
+from repro.experiments.common import TankChannelFactory, measure_strategy_gains
 from repro.experiments.report import Table
+from repro.runtime.cache import optimized_plan
 
 
 @dataclass(frozen=True)
 class AblationConfig:
     n_trials: int = 30
     seed: int = 77
+    engine: str = "auto"
+    workers: int = 1
 
     @classmethod
     def fast(cls) -> "AblationConfig":
         return cls(n_trials=10)
+
+
+# Module-level strategy factories (picklable, unlike lambdas) so the
+# ablation sweeps can fan out across worker processes.
+
+
+class _BeamsteerFactory:
+    def __call__(self, channel) -> BeamsteeringTransmitter:
+        return BeamsteeringTransmitter(channel.geometric_phases())
+
+
+@dataclass(frozen=True)
+class _BlindFactory:
+    n_antennas: int
+
+    def __call__(self, channel) -> BlindSameFrequencyTransmitter:
+        return BlindSameFrequencyTransmitter(self.n_antennas)
+
+
+@dataclass(frozen=True)
+class _CIBFactory:
+    plan: CarrierPlan
+
+    def __call__(self, channel) -> CIBTransmitter:
+        return CIBTransmitter(self.plan)
 
 
 def beamsteering_across_media(config: AblationConfig = AblationConfig()) -> Table:
@@ -56,30 +81,33 @@ def beamsteering_across_media(config: AblationConfig = AblationConfig()) -> Tabl
     for medium, phase_mode in ((AIR, "geometric"), (WATER, "perturbed"), (STEAK, "perturbed")):
         tank = WaterTankPhantom(medium=medium, standoff_m=0.5, geometry="linear")
         depth = 0.0 if medium == AIR else 0.05
-
-        def factory(rng: np.random.Generator):
-            return tank.channel(
-                plan.n_antennas, depth, plan.center_frequency_hz,
-                phase_mode=phase_mode, rng=rng,
-            )
-
+        factory = TankChannelFactory(
+            tank, plan.n_antennas, depth, plan.center_frequency_hz,
+            phase_mode=phase_mode,
+        )
         steer_gains = measure_strategy_gains(
             factory,
-            lambda channel: BeamsteeringTransmitter(channel.geometric_phases()),
+            _BeamsteerFactory(),
             config.n_trials,
             config.seed,
+            engine=config.engine,
+            workers=config.workers,
         )
         base_gains = measure_strategy_gains(
             factory,
-            lambda channel: BlindSameFrequencyTransmitter(plan.n_antennas),
+            _BlindFactory(plan.n_antennas),
             config.n_trials,
             config.seed + 1,
+            engine=config.engine,
+            workers=config.workers,
         )
         cib_gains = measure_strategy_gains(
             factory,
-            lambda channel: CIBTransmitter(plan),
+            _CIBFactory(plan),
             config.n_trials,
             config.seed + 2,
+            engine=config.engine,
+            workers=config.workers,
         )
         table.add_row(
             medium.name,
@@ -94,15 +122,16 @@ def equal_power_scaling(config: AblationConfig = AblationConfig()) -> Table:
     """Sec. 3.4: CIB with a fixed total power budget still gains ~N."""
     plan = paper_plan().equal_power_amplitudes()
     tank = WaterTankPhantom(standoff_m=0.5)
-
-    def factory(rng: np.random.Generator):
-        return tank.channel(plan.n_antennas, 0.10, plan.center_frequency_hz, rng=rng)
-
+    factory = TankChannelFactory(
+        tank, plan.n_antennas, 0.10, plan.center_frequency_hz
+    )
     gains = measure_strategy_gains(
         factory,
-        lambda channel: CIBTransmitter(plan),
+        _CIBFactory(plan),
         config.n_trials,
         config.seed,
+        engine=config.engine,
+        workers=config.workers,
     )
     summary = percentile_summary(gains)
     table = Table(
@@ -172,12 +201,17 @@ def plan_quality(config: AblationConfig = AblationConfig()) -> Table:
     """Expected peak of paper vs optimized vs random vs worst plans."""
     from repro.core.optimizer import FrequencyOptimizer
 
-    optimizer = FrequencyOptimizer(10, n_draws=48, seed=config.seed)
-    optimized = optimizer.optimize(n_candidates=60, refine_rounds=1)
-    (best_random, best_value), (worst_random, worst_value) = (
-        optimizer.rank_random_sets(20)
+    # The cached search and the rankings use separate optimizers: reusing
+    # one instance would couple the ranking draws to whether the optimize()
+    # call was a cache hit.
+    optimized = optimized_plan(
+        10, seed=config.seed, n_candidates=60, refine_rounds=1
     )
-    paper_value = optimizer.objective(
+    ranker = FrequencyOptimizer(10, n_draws=48, seed=config.seed)
+    (best_random, best_value), (worst_random, worst_value) = (
+        ranker.rank_random_sets(20)
+    )
+    paper_value = ranker.objective(
         tuple(int(v) for v in paper_plan().offsets_hz)
     )
     table = Table(

@@ -9,6 +9,7 @@ Sec. 5b coherent averaging moves an operating point up the curve by
 """
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -19,6 +20,8 @@ from repro.gen2.fm0 import chips_to_waveform, encode_chips, waveform_to_chips
 from repro.gen2.fm0 import decode_chips
 from repro.gen2.miller import decode_waveform, encode_waveform
 from repro.reader.averaging import coherent_average
+from repro.runtime.instrument import get_instrumentation
+from repro.runtime.runner import TrialRunner
 
 
 @dataclass(frozen=True)
@@ -32,6 +35,7 @@ class BerConfig:
         miller_orders: Miller-M schemes swept alongside FM0.
         averaging_periods: Extra curve: FM0 with M-period averaging.
         seed: Experiment seed.
+        workers: Worker processes for the per-word chunks.
     """
 
     snr_db_points: Tuple[float, ...] = (-12.0, -9.0, -6.0, -3.0, 0.0, 3.0)
@@ -40,6 +44,7 @@ class BerConfig:
     miller_orders: Tuple[int, ...] = (2, 8)
     averaging_periods: int = 10
     seed: int = 54
+    workers: int = 1
 
     @classmethod
     def fast(cls) -> "BerConfig":
@@ -107,6 +112,39 @@ def _miller_trial(
     return sum(a != b for a, b in zip(bits, decoded))
 
 
+def _word_errors_chunk(
+    start: int,
+    count: int,
+    seed: int,
+    n_words: int,
+    noise_std: float,
+    samples_per_chip: int,
+    miller_orders: Tuple[int, ...],
+    averaging_periods: int,
+) -> Dict[str, int]:
+    """Per-scheme bit-error counts for words ``[start, start + count)``.
+
+    Replicates the legacy per-word draw order exactly (bits, FM0, each
+    Miller order, averaged FM0 -- all from the same generator), so summing
+    the chunk counts reproduces the serial sweep bit for bit.
+    """
+    errors: Dict[str, int] = {"FM0": 0}
+    for m in miller_orders:
+        errors[f"Miller-{m}"] = 0
+    errors[f"FM0 avg x{averaging_periods}"] = 0
+    rngs = spawn_rngs(seed, n_words)[start : start + count]
+    for rng in rngs:
+        bits = tuple(int(b) for b in rng.integers(0, 2, 16))
+        errors["FM0"] += _fm0_trial(bits, noise_std, samples_per_chip, rng)
+        for m in miller_orders:
+            errors[f"Miller-{m}"] += _miller_trial(bits, noise_std, m, rng)
+        errors[f"FM0 avg x{averaging_periods}"] += _fm0_trial(
+            bits, noise_std, samples_per_chip, rng,
+            n_periods=averaging_periods,
+        )
+    return errors
+
+
 def run(config: BerConfig = BerConfig()) -> BerResult:
     curves: Dict[str, List[Tuple[float, float]]] = {}
     schemes = (
@@ -117,27 +155,26 @@ def run(config: BerConfig = BerConfig()) -> BerResult:
     for scheme in schemes:
         curves[scheme] = []
 
+    instr = get_instrumentation()
+    runner = TrialRunner(workers=config.workers)
     for snr_db in config.snr_db_points:
         noise_std = float(10.0 ** (-snr_db / 20.0))  # signal amplitude = 1
-        errors = {scheme: 0 for scheme in schemes}
         total_bits = config.n_words * 16
-        for index, rng in enumerate(
-            spawn_rngs(config.seed + abs(int(snr_db * 10)) * 2 + (snr_db < 0),
-                       config.n_words)
-        ):
-            bits = tuple(int(b) for b in rng.integers(0, 2, 16))
-            errors["FM0"] += _fm0_trial(
-                bits, noise_std, config.samples_per_chip, rng
-            )
-            for m in config.miller_orders:
-                errors[f"Miller-{m}"] += _miller_trial(bits, noise_std, m, rng)
-            errors[f"FM0 avg x{config.averaging_periods}"] += _fm0_trial(
-                bits,
-                noise_std,
-                config.samples_per_chip,
-                rng,
-                n_periods=config.averaging_periods,
-            )
+        fn = partial(
+            _word_errors_chunk,
+            seed=config.seed + abs(int(snr_db * 10)) * 2 + (snr_db < 0),
+            n_words=config.n_words,
+            noise_std=noise_std,
+            samples_per_chip=config.samples_per_chip,
+            miller_orders=config.miller_orders,
+            averaging_periods=config.averaging_periods,
+        )
+        with instr.stage("ber.words", trials=config.n_words):
+            chunks = runner.map_chunks(fn, config.n_words)
+        errors = {scheme: 0 for scheme in schemes}
+        for chunk in chunks:
+            for scheme, count in chunk.items():
+                errors[scheme] += count
         for scheme in schemes:
             curves[scheme].append((snr_db, errors[scheme] / total_bits))
     return BerResult(curves=curves)

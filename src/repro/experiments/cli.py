@@ -6,11 +6,17 @@ Usage::
     python -m repro.experiments fig09
     python -m repro.experiments fig13 --fast
     python -m repro.experiments all --fast
+    python -m repro.experiments fig09 --workers 4 --timings
 
 Each experiment prints the table(s) the corresponding paper figure shows.
+Monte-Carlo experiments run on the batched :mod:`repro.runtime` engine;
+``--workers`` fans trial chunks across processes (results are bit-identical
+for any worker count), ``--timings`` prints the per-stage runtime table,
+and ``--no-plan-cache`` disables the frequency-search cache.
 """
 
 import argparse
+import dataclasses
 import sys
 import time
 from typing import Callable, Dict, List
@@ -38,7 +44,12 @@ from repro.experiments import (
 def _tables_of(result) -> List:
     """Collect every table a result object can produce."""
     tables = []
-    for attribute in ("table", "depth_table", "orientation_table"):
+    for attribute in (
+        "table",
+        "monte_carlo_table",
+        "depth_table",
+        "orientation_table",
+    ):
         method = getattr(result, attribute, None)
         if callable(method):
             tables.append(method())
@@ -47,7 +58,16 @@ def _tables_of(result) -> List:
     return tables
 
 
-def _run_figure(module, fast: bool):
+def _configure(config, workers: int):
+    """Apply the --workers override to configs that support it."""
+    if workers > 1 and any(
+        f.name == "workers" for f in dataclasses.fields(config)
+    ):
+        return dataclasses.replace(config, workers=workers)
+    return config
+
+
+def _run_figure(module, fast: bool, workers: int = 1):
     config_cls = next(
         (
             getattr(module, name)
@@ -59,13 +79,14 @@ def _run_figure(module, fast: bool):
     if config_cls is None:
         return module.run()
     config = config_cls.fast() if fast and hasattr(config_cls, "fast") else config_cls()
-    return module.run(config)
+    return module.run(_configure(config, workers))
 
 
-def _run_ablations(fast: bool):
+def _run_ablations(fast: bool, workers: int = 1):
     config = (
         ablations.AblationConfig.fast() if fast else ablations.AblationConfig()
     )
+    config = _configure(config, workers)
     return [
         ablations.beamsteering_across_media(config),
         ablations.equal_power_scaling(config),
@@ -75,22 +96,22 @@ def _run_ablations(fast: bool):
     ]
 
 
-EXPERIMENTS: Dict[str, Callable[[bool], object]] = {
-    "fig04": lambda fast: _run_figure(fig04, fast),
-    "fig05": lambda fast: _run_figure(fig05, fast),
-    "fig06": lambda fast: _run_figure(fig06, fast),
-    "fig09": lambda fast: _run_figure(fig09, fast),
-    "fig10": lambda fast: _run_figure(fig10, fast),
-    "fig11": lambda fast: _run_figure(fig11, fast),
-    "fig12": lambda fast: _run_figure(fig12, fast),
-    "fig13": lambda fast: _run_figure(fig13, fast),
-    "invivo": lambda fast: _run_figure(invivo, fast),
-    "optogenetics": lambda fast: _run_figure(optogenetics, fast),
-    "throughput": lambda fast: _run_figure(inventory_throughput, fast),
-    "wakeup": lambda fast: _run_figure(wakeup_latency, fast),
-    "sensitivity": lambda fast: _run_figure(sensitivity, fast),
-    "ber": lambda fast: _run_figure(ber, fast),
-    "constraints": lambda fast: constraint_check.run(),
+EXPERIMENTS: Dict[str, Callable[[bool, int], object]] = {
+    "fig04": lambda fast, workers: _run_figure(fig04, fast, workers),
+    "fig05": lambda fast, workers: _run_figure(fig05, fast),
+    "fig06": lambda fast, workers: _run_figure(fig06, fast),
+    "fig09": lambda fast, workers: _run_figure(fig09, fast, workers),
+    "fig10": lambda fast, workers: _run_figure(fig10, fast, workers),
+    "fig11": lambda fast, workers: _run_figure(fig11, fast, workers),
+    "fig12": lambda fast, workers: _run_figure(fig12, fast, workers),
+    "fig13": lambda fast, workers: _run_figure(fig13, fast, workers),
+    "invivo": lambda fast, workers: _run_figure(invivo, fast),
+    "optogenetics": lambda fast, workers: _run_figure(optogenetics, fast),
+    "throughput": lambda fast, workers: _run_figure(inventory_throughput, fast),
+    "wakeup": lambda fast, workers: _run_figure(wakeup_latency, fast),
+    "sensitivity": lambda fast, workers: _run_figure(sensitivity, fast),
+    "ber": lambda fast, workers: _run_figure(ber, fast, workers),
+    "constraints": lambda fast, workers: constraint_check.run(),
     "ablations": _run_ablations,
 }
 
@@ -115,6 +136,25 @@ def main(argv=None) -> int:
         action="store_true",
         help="render ASCII plots for results with natural series/CDFs",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for Monte-Carlo trial chunks (default 1; "
+        "results are identical for any value)",
+    )
+    parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="print the per-stage runtime instrumentation table "
+        "(stages executed in worker processes are not aggregated; "
+        "use --workers 1 for complete timings)",
+    )
+    parser.add_argument(
+        "--no-plan-cache",
+        action="store_true",
+        help="disable the frequency-search plan cache",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -122,10 +162,17 @@ def main(argv=None) -> int:
             print(name)
         return 0
 
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.no_plan_cache:
+        from repro.runtime import configure_plan_cache
+
+        configure_plan_cache(enabled=False)
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.perf_counter()
-        result = EXPERIMENTS[name](args.fast)
+        result = EXPERIMENTS[name](args.fast, args.workers)
         elapsed = time.perf_counter() - start
         print()
         print(f"### {name} ({elapsed:.1f} s)")
@@ -137,6 +184,17 @@ def main(argv=None) -> int:
             for plot in _plots_of(result):
                 print()
                 print(plot)
+    if args.timings:
+        from repro.experiments.report import runtime_table
+        from repro.runtime import get_instrumentation
+
+        print()
+        print(runtime_table(get_instrumentation()).render())
+        if args.workers > 1 and not get_instrumentation().rows():
+            print(
+                "(stages ran inside worker processes; "
+                "re-run with --workers 1 for per-stage timings)"
+            )
     return 0
 
 

@@ -1,8 +1,19 @@
-"""Shared measurement drivers for the Section 6 experiments."""
+"""Shared measurement drivers for the Section 6 experiments.
+
+The public drivers (:func:`measure_gain_trials`,
+:func:`power_up_probability`, :func:`measure_strategy_gains`) run on the
+batched :mod:`repro.runtime` engine: trials are chunked by a
+:class:`~repro.runtime.runner.TrialRunner` (optionally across worker
+processes) and each chunk is evaluated in stacked ``(D, N)`` arrays. The
+original one-trial-per-iteration loops are kept as ``*_scalar`` reference
+implementations; the regression suite asserts the engine reproduces them
+bit-for-bit at fixed seeds.
+"""
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from functools import partial
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -17,7 +28,11 @@ from repro.core.baselines import (
 from repro.core.plan import CarrierPlan
 from repro.em.channel import BlindChannel
 from repro.em.media import Medium
+from repro.em.multipath import MultipathProfile
+from repro.em.phantoms import WaterTankPhantom
 from repro.harvester.tag_power import HarvesterFrontEnd
+from repro.runtime import engine as engine_mod
+from repro.runtime.runner import TrialRunner
 from repro.sensors.tags import TagSpec
 
 CAPTURE_DURATION_S = 2.0
@@ -43,6 +58,36 @@ class GainSample:
         return self.cib_gain / self.baseline_gain
 
 
+@dataclass(frozen=True)
+class TankChannelFactory:
+    """Picklable channel factory over a water-tank phantom.
+
+    The process-pool runtime ships chunk functions to worker processes, so
+    the experiment drivers use this dataclass instead of a lambda closing
+    over the tank. Calling it matches
+    ``tank.channel(n_antennas, depth_m, frequency_hz, ..., rng=rng)``.
+    """
+
+    tank: WaterTankPhantom
+    n_antennas: int
+    depth_m: float
+    frequency_hz: float
+    phase_mode: str = "random"
+    multipath: Optional[MultipathProfile] = None
+    orientation_gain: float = 1.0
+
+    def __call__(self, rng: np.random.Generator) -> BlindChannel:
+        return self.tank.channel(
+            self.n_antennas,
+            self.depth_m,
+            self.frequency_hz,
+            phase_mode=self.phase_mode,
+            multipath=self.multipath,
+            orientation_gain=self.orientation_gain,
+            rng=rng,
+        )
+
+
 def measure_gain_trials(
     channel_factory: Callable[[np.random.Generator], BlindChannel],
     plan: CarrierPlan,
@@ -50,14 +95,57 @@ def measure_gain_trials(
     seed: int,
     duration_s: float = CAPTURE_DURATION_S,
     include_baseline: bool = True,
+    engine: str = "auto",
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> List[GainSample]:
-    """Run the Sec. 6.1.1 measurement loop.
+    """Run the Sec. 6.1.1 measurement loop on the batched runtime.
 
     Each trial re-places the receive antenna (a fresh channel from the
     factory), realizes the blind channel, and measures the peak power of
     CIB -- and optionally the blind N-antenna baseline -- against the
     single-antenna reference over a capture window.
+
+    Args:
+        engine: Envelope evaluation tier (see
+            :data:`repro.runtime.engine.ENGINES`). ``"direct"`` and
+            ``"scalar"`` are bit-identical to
+            :func:`measure_gain_trials_scalar`; ``"fft"`` (the ``"auto"``
+            choice for integer-bin plans) agrees to ~1e-13 relative.
+        workers: Worker processes; results are identical for any count.
+        chunk_size: Trials per chunk (default: one chunk per worker).
     """
+    if n_trials <= 0:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    runner = TrialRunner(workers=workers, chunk_size=chunk_size)
+    fn = partial(
+        engine_mod.measure_gain_chunk,
+        channel_factory=channel_factory,
+        plan=plan,
+        seed=seed,
+        n_trials=n_trials,
+        duration_s=duration_s,
+        include_baseline=include_baseline,
+        engine=engine,
+    )
+    parts = runner.map_chunks(fn, n_trials)
+    cib_gains = np.concatenate([part[0] for part in parts])
+    baseline_gains = np.concatenate([part[1] for part in parts])
+    return [
+        GainSample(cib_gain=float(cib), baseline_gain=float(base))
+        for cib, base in zip(cib_gains, baseline_gains)
+    ]
+
+
+def measure_gain_trials_scalar(
+    channel_factory: Callable[[np.random.Generator], BlindChannel],
+    plan: CarrierPlan,
+    n_trials: int,
+    seed: int,
+    duration_s: float = CAPTURE_DURATION_S,
+    include_baseline: bool = True,
+) -> List[GainSample]:
+    """Legacy one-trial-per-iteration loop (reference implementation)."""
     if n_trials <= 0:
         raise ValueError(f"n_trials must be positive, got {n_trials}")
     cib = CIBTransmitter(plan)
@@ -127,8 +215,39 @@ def power_up_probability(
     tag_spec: TagSpec,
     n_trials: int,
     seed: int,
+    engine: str = "auto",
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> float:
     """Fraction of trials whose peak V_s clears the tag's minimum."""
+    if n_trials <= 0:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    runner = TrialRunner(workers=workers, chunk_size=chunk_size)
+    fn = partial(
+        engine_mod.power_up_chunk,
+        plan=plan,
+        channel_factory=channel_factory,
+        medium_at_tag=medium_at_tag,
+        eirp_per_branch_w=eirp_per_branch_w,
+        tag_spec=tag_spec,
+        seed=seed,
+        n_trials=n_trials,
+        engine=engine,
+    )
+    successes = sum(runner.map_chunks(fn, n_trials))
+    return successes / n_trials
+
+
+def power_up_probability_scalar(
+    plan: CarrierPlan,
+    channel_factory: Callable[[np.random.Generator], BlindChannel],
+    medium_at_tag: Medium,
+    eirp_per_branch_w: float,
+    tag_spec: TagSpec,
+    n_trials: int,
+    seed: int,
+) -> float:
+    """Legacy per-trial power-up loop (reference implementation)."""
     threshold = tag_spec.minimum_input_voltage_v()
     successes = 0
     for rng in spawn_rngs(seed, n_trials):
@@ -147,12 +266,41 @@ def measure_strategy_gains(
     n_trials: int,
     seed: int,
     duration_s: float = CAPTURE_DURATION_S,
+    engine: str = "auto",
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> List[float]:
     """Peak power gain of an arbitrary strategy vs the single antenna.
 
     The strategy factory receives the channel so that channel-model-aware
     strategies (beamsteering) can extract the assumed geometric phases.
+    Known strategy types are batched; unknown ones fall back to per-trial
+    evaluation with identical random streams.
     """
+    if n_trials <= 0:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    runner = TrialRunner(workers=workers, chunk_size=chunk_size)
+    fn = partial(
+        engine_mod.strategy_gain_chunk,
+        channel_factory=channel_factory,
+        strategy_factory=strategy_factory,
+        seed=seed,
+        n_trials=n_trials,
+        duration_s=duration_s,
+        engine=engine,
+    )
+    parts = runner.map_chunks(fn, n_trials)
+    return [float(gain) for gain in np.concatenate(parts)]
+
+
+def measure_strategy_gains_scalar(
+    channel_factory: Callable[[np.random.Generator], BlindChannel],
+    strategy_factory: Callable[[BlindChannel], TransmitterStrategy],
+    n_trials: int,
+    seed: int,
+    duration_s: float = CAPTURE_DURATION_S,
+) -> List[float]:
+    """Legacy per-trial strategy loop (reference implementation)."""
     if n_trials <= 0:
         raise ValueError(f"n_trials must be positive, got {n_trials}")
     reference = SingleAntennaTransmitter()

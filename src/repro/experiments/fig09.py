@@ -9,13 +9,11 @@ frequency set does not always align perfectly).
 from dataclasses import dataclass
 from typing import List
 
-import numpy as np
-
 from repro.analysis.stats import percentile_summary
 from repro.constants import TANK_STANDOFF_POWER_GAIN_M
 from repro.core.plan import CarrierPlan, paper_plan
 from repro.em.phantoms import WaterTankPhantom
-from repro.experiments.common import measure_gain_trials
+from repro.experiments.common import TankChannelFactory, measure_gain_trials
 from repro.experiments.report import Table
 
 
@@ -28,12 +26,16 @@ class Fig09Config:
         n_trials: Trials per antenna count (paper: 150 total).
         depth_m: Receive-antenna depth in the tank.
         seed: Experiment seed.
+        engine: Envelope evaluation tier (see repro.runtime.engine).
+        workers: Worker processes for the trial chunks.
     """
 
     max_antennas: int = 10
     n_trials: int = 50
     depth_m: float = 0.10
     seed: int = 9
+    engine: str = "auto"
+    workers: int = 1
 
     @classmethod
     def fast(cls) -> "Fig09Config":
@@ -70,16 +72,17 @@ def run(config: Fig09Config = Fig09Config()) -> Fig09Result:
     result = Fig09Result([], [], [], [])
     for n_antennas in range(1, config.max_antennas + 1):
         plan = full_plan.subset(n_antennas)
-
-        def factory(rng: np.random.Generator, n=n_antennas):
-            return tank.channel(n, config.depth_m, plan.center_frequency_hz, rng=rng)
-
+        factory = TankChannelFactory(
+            tank, n_antennas, config.depth_m, plan.center_frequency_hz
+        )
         samples = measure_gain_trials(
             factory,
             plan,
             n_trials=config.n_trials,
             seed=config.seed + n_antennas,
             include_baseline=False,
+            engine=config.engine,
+            workers=config.workers,
         )
         summary = percentile_summary([s.cib_gain for s in samples])
         result.antenna_counts.append(n_antennas)

@@ -10,13 +10,11 @@ import math
 from dataclasses import dataclass
 from typing import List
 
-import numpy as np
-
 from repro.analysis.stats import percentile_summary
 from repro.constants import TANK_STANDOFF_POWER_GAIN_M
 from repro.core.plan import paper_plan
 from repro.em.phantoms import WaterTankPhantom
-from repro.experiments.common import measure_gain_trials
+from repro.experiments.common import TankChannelFactory, measure_gain_trials
 from repro.experiments.report import Table
 
 
@@ -29,6 +27,8 @@ class Fig10Config:
                                math.pi, 1.25 * math.pi, 1.5 * math.pi)
     n_trials: int = 30
     seed: int = 10
+    engine: str = "auto"
+    workers: int = 1
 
     @classmethod
     def fast(cls) -> "Fig10Config":
@@ -69,18 +69,17 @@ def run(config: Fig10Config = Fig10Config()) -> Fig10Result:
     tank = WaterTankPhantom(standoff_m=TANK_STANDOFF_POWER_GAIN_M)
     depth_rows: List[tuple] = []
     for depth in config.depths_m:
-
-        def factory(rng: np.random.Generator, d=depth):
-            return tank.channel(
-                plan.n_antennas, d, plan.center_frequency_hz, rng=rng
-            )
-
+        factory = TankChannelFactory(
+            tank, plan.n_antennas, depth, plan.center_frequency_hz
+        )
         samples = measure_gain_trials(
             factory,
             plan,
             n_trials=config.n_trials,
             seed=config.seed + int(depth * 1000),
             include_baseline=False,
+            engine=config.engine,
+            workers=config.workers,
         )
         summary = percentile_summary([s.cib_gain for s in samples])
         depth_rows.append(
@@ -93,22 +92,21 @@ def run(config: Fig10Config = Fig10Config()) -> Fig10Result:
         # same orientation factor; the gain ratio is taken at the same
         # orientation, mirroring the paper's measurement.
         orientation_gain = max(abs(math.cos(angle)), 0.05)
-
-        def factory(rng: np.random.Generator, g=orientation_gain):
-            return tank.channel(
-                plan.n_antennas,
-                0.10,
-                plan.center_frequency_hz,
-                orientation_gain=g,
-                rng=rng,
-            )
-
+        factory = TankChannelFactory(
+            tank,
+            plan.n_antennas,
+            0.10,
+            plan.center_frequency_hz,
+            orientation_gain=orientation_gain,
+        )
         samples = measure_gain_trials(
             factory,
             plan,
             n_trials=config.n_trials,
             seed=config.seed + 7919 + int(angle * 1000),
             include_baseline=False,
+            engine=config.engine,
+            workers=config.workers,
         )
         summary = percentile_summary([s.cib_gain for s in samples])
         orientation_rows.append(

@@ -9,14 +9,12 @@ total-power increase. CIB's gain is medium-agnostic by construction.
 from dataclasses import dataclass
 from typing import List, Tuple
 
-import numpy as np
-
 from repro.analysis.stats import percentile_summary
 from repro.constants import TANK_STANDOFF_POWER_GAIN_M
 from repro.core.plan import paper_plan
 from repro.em.media import FIG11_MEDIA, Medium
 from repro.em.phantoms import WaterTankPhantom
-from repro.experiments.common import measure_gain_trials
+from repro.experiments.common import TankChannelFactory, measure_gain_trials
 from repro.experiments.report import Table
 
 
@@ -29,12 +27,16 @@ class Fig11Config:
         depth_m: Sensor depth inside the medium.
         n_trials: Trials per medium (paper: 100 total).
         seed: Experiment seed.
+        engine: Envelope evaluation tier (see repro.runtime.engine).
+        workers: Worker processes for the trial chunks.
     """
 
     media: Tuple[Medium, ...] = FIG11_MEDIA
     depth_m: float = 0.05
     n_trials: int = 40
     seed: int = 11
+    engine: str = "auto"
+    workers: int = 1
 
     @classmethod
     def fast(cls) -> "Fig11Config":
@@ -77,18 +79,16 @@ def run(config: Fig11Config = Fig11Config()) -> Fig11Result:
         tank = WaterTankPhantom(
             medium=medium, standoff_m=TANK_STANDOFF_POWER_GAIN_M
         )
-
-        def factory(rng: np.random.Generator, t=tank):
-            return tank.channel(
-                plan.n_antennas, config.depth_m, plan.center_frequency_hz,
-                rng=rng,
-            )
-
+        factory = TankChannelFactory(
+            tank, plan.n_antennas, config.depth_m, plan.center_frequency_hz
+        )
         samples = measure_gain_trials(
             factory,
             plan,
             n_trials=config.n_trials,
             seed=config.seed + index,
+            engine=config.engine,
+            workers=config.workers,
         )
         cib = percentile_summary([s.cib_gain for s in samples])
         baseline = percentile_summary([s.baseline_gain for s in samples])

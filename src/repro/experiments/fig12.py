@@ -15,7 +15,7 @@ from repro.analysis.stats import empirical_cdf
 from repro.constants import TANK_STANDOFF_POWER_GAIN_M
 from repro.core.plan import paper_plan
 from repro.em.phantoms import WaterTankPhantom
-from repro.experiments.common import measure_gain_trials
+from repro.experiments.common import TankChannelFactory, measure_gain_trials
 from repro.experiments.report import Table
 
 
@@ -26,6 +26,8 @@ class Fig12Config:
     n_trials: int = 200
     depth_m: float = 0.10
     seed: int = 12
+    engine: str = "auto"
+    workers: int = 1
 
     @classmethod
     def fast(cls) -> "Fig12Config":
@@ -69,13 +71,15 @@ def run(config: Fig12Config = Fig12Config()) -> Fig12Result:
     """Collect per-location CIB/baseline ratios in the water tank."""
     plan = paper_plan()
     tank = WaterTankPhantom(standoff_m=TANK_STANDOFF_POWER_GAIN_M)
-
-    def factory(rng: np.random.Generator):
-        return tank.channel(
-            plan.n_antennas, config.depth_m, plan.center_frequency_hz, rng=rng
-        )
-
+    factory = TankChannelFactory(
+        tank, plan.n_antennas, config.depth_m, plan.center_frequency_hz
+    )
     samples = measure_gain_trials(
-        factory, plan, n_trials=config.n_trials, seed=config.seed
+        factory,
+        plan,
+        n_trials=config.n_trials,
+        seed=config.seed,
+        engine=config.engine,
+        workers=config.workers,
     )
     return Fig12Result(ratios=np.array([s.ratio for s in samples]))

@@ -10,10 +10,8 @@ antenna count (exponential tissue loss) to ~23 cm (standard) and ~11 cm
 (miniature).
 """
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.analysis.calibration import bisect_increasing, calibrate_scalar
 from repro.constants import (
@@ -23,8 +21,7 @@ from repro.constants import (
 from repro.core.plan import CarrierPlan, paper_plan
 from repro.em.media import AIR, WATER
 from repro.em.phantoms import WaterTankPhantom
-from repro.errors import CalibrationError
-from repro.experiments.common import power_up_probability
+from repro.experiments.common import TankChannelFactory, power_up_probability
 from repro.experiments.report import Table
 from repro.sensors.tags import TagSpec, miniature_tag_spec, standard_tag_spec
 
@@ -43,6 +40,8 @@ class Fig13Config:
             ``eirp_w`` is used directly.
         eirp_w: Per-branch EIRP when calibration is off.
         seed: Experiment seed.
+        engine: Envelope evaluation tier (see repro.runtime.engine).
+        workers: Worker processes for the trial chunks.
     """
 
     antenna_counts: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)
@@ -51,6 +50,8 @@ class Fig13Config:
     calibrate: bool = True
     eirp_w: float = 6.0
     seed: int = 13
+    engine: str = "auto"
+    workers: int = 1
 
     @classmethod
     def fast(cls) -> "Fig13Config":
@@ -110,14 +111,12 @@ def _air_range_m(
 
     def powers_at(distance: float) -> bool:
         tank = WaterTankPhantom(medium=AIR, standoff_m=distance)
-
-        def factory(rng: np.random.Generator):
-            return tank.channel(
-                plan.n_antennas, 0.0, plan.center_frequency_hz, rng=rng
-            )
-
+        factory = TankChannelFactory(
+            tank, plan.n_antennas, 0.0, plan.center_frequency_hz
+        )
         probability = power_up_probability(
-            plan, factory, AIR, eirp_w, spec, config.n_trials, seed
+            plan, factory, AIR, eirp_w, spec, config.n_trials, seed,
+            engine=config.engine, workers=config.workers,
         )
         return probability >= config.success_fraction
 
@@ -137,13 +136,12 @@ def _water_depth_m(
     tank = WaterTankPhantom(medium=WATER, standoff_m=TANK_STANDOFF_RANGE_M)
 
     def powers_at(depth: float) -> bool:
-        def factory(rng: np.random.Generator):
-            return tank.channel(
-                plan.n_antennas, depth, plan.center_frequency_hz, rng=rng
-            )
-
+        factory = TankChannelFactory(
+            tank, plan.n_antennas, depth, plan.center_frequency_hz
+        )
         probability = power_up_probability(
-            plan, factory, WATER, eirp_w, spec, config.n_trials, seed
+            plan, factory, WATER, eirp_w, spec, config.n_trials, seed,
+            engine=config.engine, workers=config.workers,
         )
         return probability >= config.success_fraction
 

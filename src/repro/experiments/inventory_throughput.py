@@ -106,12 +106,19 @@ class AirtimeModel:
 def run(config: ThroughputConfig = ThroughputConfig()) -> ThroughputResult:
     airtime = AirtimeModel(blf_hz=config.blf_hz)
     rows: List[Tuple[int, int, float, float, float]] = []
-    for population in config.populations:
-        rng = np.random.default_rng(config.seed + population)
+    root = np.random.SeedSequence(config.seed)
+    for population, population_seq in zip(
+        config.populations, root.spawn(len(config.populations))
+    ):
+        # One child stream per tag plus one for the EPCs; spawning keeps the
+        # streams statistically independent (unlike the old seed+offset
+        # arithmetic, which could collide across populations and tags).
+        children = population_seq.spawn(population + 1)
+        rng = np.random.default_rng(children[0])
         tags = []
         for index in range(population):
             epc = tuple(int(b) for b in rng.integers(0, 2, 96))
-            tag = Gen2Tag(epc, np.random.default_rng(config.seed * 100 + index))
+            tag = Gen2Tag(epc, np.random.default_rng(children[1 + index]))
             tag.power_up()
             tags.append(tag)
         algorithm = QAlgorithm(initial_q=config.initial_q)

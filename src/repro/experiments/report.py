@@ -77,6 +77,24 @@ class Table:
         return [row[index] for row in self.rows]
 
 
+def runtime_table(instrumentation) -> Table:
+    """Per-stage wall-clock/throughput table for the Monte-Carlo runtime.
+
+    Args:
+        instrumentation: A :class:`repro.runtime.instrument.Instrumentation`
+            (typically ``get_instrumentation()``); formatting lives here so
+            the runtime package stays free of experiment-layer imports.
+    """
+    table = Table(
+        title="Runtime -- per-stage wall clock and trial throughput",
+        headers=("stage", "wall (s)", "calls", "trials", "trials/s"),
+    )
+    for name, wall_s, calls, trials, trials_per_s in instrumentation.rows():
+        table.add_row(name, wall_s, calls, trials, trials_per_s)
+    table.add_row("TOTAL", instrumentation.total_wall_s(), "", "", "")
+    return table
+
+
 def ascii_series(
     x: Sequence[float],
     y: Sequence[float],

@@ -1,0 +1,55 @@
+"""Shared Monte-Carlo execution engine for the Section 6 experiments.
+
+Every figure in the paper's evaluation is a Monte-Carlo sweep: realize a
+blind channel, synthesize a waveform, measure a peak, repeat. The seed
+implementation ran one trial per Python-loop iteration; this subsystem is
+the production trial engine the experiment drivers share instead:
+
+* :mod:`repro.runtime.engine` -- **batched evaluation**: channel draws are
+  stacked into ``(D, N)`` arrays and whole trial batches flow through the
+  batched-FFT envelope path (or a chunked direct-envelope path when the
+  offsets are not FFT-compatible), eliminating the per-trial loop.
+* :mod:`repro.runtime.runner` -- **process-pool fan-out**:
+  :class:`TrialRunner` chunks trials across a
+  ``concurrent.futures.ProcessPoolExecutor`` with deterministic per-chunk
+  ``SeedSequence`` spawning, so results are bit-identical regardless of
+  worker count (``workers=1`` runs in-process).
+* :mod:`repro.runtime.cache` -- **plan caching**: an in-memory + on-disk
+  cache for :class:`~repro.core.optimizer.FrequencyOptimizer` search
+  results, keyed by a hash of the full search configuration, so repeated
+  benches stop re-running the multi-second Eq. 10 search.
+* :mod:`repro.runtime.instrument` -- per-stage wall-clock and trial
+  counters, surfaced as a table through
+  :func:`repro.experiments.report.runtime_table`.
+"""
+
+from repro.runtime.cache import (
+    PlanCache,
+    configure_plan_cache,
+    get_plan_cache,
+    optimized_conduction_plan,
+    optimized_plan,
+)
+from repro.runtime.engine import (
+    ENGINES,
+    fft_compatible,
+    peak_amplitudes,
+    resolve_engine,
+)
+from repro.runtime.instrument import Instrumentation, get_instrumentation
+from repro.runtime.runner import TrialRunner
+
+__all__ = [
+    "ENGINES",
+    "Instrumentation",
+    "PlanCache",
+    "TrialRunner",
+    "configure_plan_cache",
+    "fft_compatible",
+    "get_instrumentation",
+    "get_plan_cache",
+    "optimized_conduction_plan",
+    "optimized_plan",
+    "peak_amplitudes",
+    "resolve_engine",
+]

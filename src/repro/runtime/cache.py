@@ -1,0 +1,283 @@
+"""Caching for Eq. 10 frequency-search results.
+
+The randomized :class:`~repro.core.optimizer.FrequencyOptimizer` search
+takes seconds and is repeated with identical inputs by the scheduler, the
+ablations, and the benchmark suite. :class:`PlanCache` memoizes
+:class:`~repro.core.optimizer.OptimizationResult` objects under a hash of
+the full search configuration, in memory and (optionally) as JSON files on
+disk so results survive across processes.
+
+The module-level helpers :func:`optimized_plan` /
+:func:`optimized_conduction_plan` are the supported entry points. Each one
+constructs a **fresh** optimizer per uncached call: an optimizer's internal
+generator advances as it searches, so skipping a cached ``optimize()`` on a
+shared instance would silently shift every later draw from that instance.
+
+Disk caching is off by default (memory only); set the ``REPRO_CACHE_DIR``
+environment variable or call :func:`configure_plan_cache` to enable it.
+Cache keys include the seed and every search parameter, so a hit is exactly
+the result the search would have produced.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.constants import CIB_CENTER_FREQUENCY_HZ
+from repro.core.constraints import FlatnessConstraint
+from repro.core.optimizer import (
+    DEFAULT_GRID_SIZE,
+    FrequencyOptimizer,
+    OptimizationResult,
+)
+from repro.core.plan import CarrierPlan
+from repro.runtime.instrument import get_instrumentation
+
+_ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def _result_to_json(result: OptimizationResult) -> dict:
+    plan = result.plan
+    return {
+        "plan": {
+            "center_frequency_hz": plan.center_frequency_hz,
+            "offsets_hz": list(plan.offsets_hz),
+            "amplitudes": (
+                None if plan.amplitudes is None else list(plan.amplitudes)
+            ),
+        },
+        "expected_peak": result.expected_peak,
+        "normalized_peak": result.normalized_peak,
+        "n_evaluations": result.n_evaluations,
+        "history": list(result.history),
+    }
+
+
+def _result_from_json(payload: dict) -> OptimizationResult:
+    plan_data = payload["plan"]
+    plan = CarrierPlan(
+        center_frequency_hz=float(plan_data["center_frequency_hz"]),
+        offsets_hz=tuple(float(v) for v in plan_data["offsets_hz"]),
+        amplitudes=(
+            None
+            if plan_data["amplitudes"] is None
+            else tuple(float(v) for v in plan_data["amplitudes"])
+        ),
+    )
+    return OptimizationResult(
+        plan=plan,
+        expected_peak=float(payload["expected_peak"]),
+        normalized_peak=float(payload["normalized_peak"]),
+        n_evaluations=int(payload["n_evaluations"]),
+        history=tuple(float(v) for v in payload["history"]),
+    )
+
+
+def plan_key(**config) -> str:
+    """Deterministic hex key for a search configuration."""
+    canonical = json.dumps(config, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+
+class PlanCache:
+    """Two-level (memory + optional disk) cache of optimization results.
+
+    Attributes:
+        directory: On-disk location for JSON entries, or None for
+            memory-only operation.
+        enabled: When False every lookup misses and nothing is stored.
+        hits / misses: Lookup counters, for instrumentation and tests.
+    """
+
+    def __init__(
+        self, directory: Optional[os.PathLike] = None, enabled: bool = True
+    ):
+        self.directory = None if directory is None else Path(directory)
+        self.enabled = bool(enabled)
+        self.hits = 0
+        self.misses = 0
+        self._memory: Dict[str, OptimizationResult] = {}
+
+    def _path(self, key: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"plan_{key}.json"
+
+    def lookup(self, key: str) -> Optional[OptimizationResult]:
+        """Cached result for ``key``, or None on a miss."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        result = self._memory.get(key)
+        if result is not None:
+            self.hits += 1
+            return result
+        path = self._path(key)
+        if path is not None and path.is_file():
+            try:
+                payload = json.loads(path.read_text())
+                result = _result_from_json(payload)
+            except (ValueError, KeyError, TypeError):
+                # A corrupt or stale entry is a miss, not an error.
+                result = None
+            if result is not None:
+                self._memory[key] = result
+                self.hits += 1
+                return result
+        self.misses += 1
+        return None
+
+    def store(self, key: str, result: OptimizationResult) -> None:
+        """Record ``result`` under ``key`` in memory and on disk."""
+        if not self.enabled:
+            return
+        self._memory[key] = result
+        path = self._path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic write so a concurrent reader never sees a partial file.
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=path.parent, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                json.dump(_result_to_json(result), handle)
+            os.replace(handle.name, path)
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (disk entries are left alone)."""
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+def _default_cache() -> PlanCache:
+    directory = os.environ.get(_ENV_CACHE_DIR)
+    return PlanCache(directory=directory or None)
+
+
+_GLOBAL = _default_cache()
+
+
+def get_plan_cache() -> PlanCache:
+    """The process-wide plan cache used by the helpers below."""
+    return _GLOBAL
+
+
+def configure_plan_cache(
+    directory: Optional[os.PathLike] = None, enabled: bool = True
+) -> PlanCache:
+    """Replace the global cache (e.g. to enable disk storage or disable)."""
+    global _GLOBAL
+    _GLOBAL = PlanCache(directory=directory, enabled=enabled)
+    return _GLOBAL
+
+
+def optimized_plan(
+    n_antennas: int,
+    constraint: Optional[FlatnessConstraint] = None,
+    center_frequency_hz: float = CIB_CENTER_FREQUENCY_HZ,
+    n_draws: int = 48,
+    grid_size: int = DEFAULT_GRID_SIZE,
+    seed: int = 0,
+    n_candidates: int = 120,
+    refine_rounds: int = 2,
+    refine_steps: Tuple[int, ...] = (1, 2, 5, 10, 20),
+    cache: Optional[PlanCache] = None,
+) -> OptimizationResult:
+    """Cached equivalent of ``FrequencyOptimizer(...).optimize(...)``."""
+    constraint = constraint if constraint is not None else FlatnessConstraint()
+    cache = cache if cache is not None else get_plan_cache()
+    key = plan_key(
+        kind="peak",
+        n_antennas=n_antennas,
+        alpha=constraint.alpha,
+        query_duration_s=constraint.query_duration_s,
+        center_frequency_hz=center_frequency_hz,
+        n_draws=n_draws,
+        grid_size=grid_size,
+        seed=seed,
+        n_candidates=n_candidates,
+        refine_rounds=refine_rounds,
+        refine_steps=tuple(refine_steps),
+    )
+    result = cache.lookup(key)
+    if result is not None:
+        return result
+    with get_instrumentation().stage("plan_search.peak"):
+        optimizer = FrequencyOptimizer(
+            n_antennas,
+            constraint,
+            center_frequency_hz=center_frequency_hz,
+            n_draws=n_draws,
+            grid_size=grid_size,
+            seed=seed,
+        )
+        result = optimizer.optimize(
+            n_candidates=n_candidates,
+            refine_rounds=refine_rounds,
+            refine_steps=tuple(refine_steps),
+        )
+    cache.store(key, result)
+    return result
+
+
+def optimized_conduction_plan(
+    n_antennas: int,
+    threshold: float,
+    constraint: Optional[FlatnessConstraint] = None,
+    center_frequency_hz: float = CIB_CENTER_FREQUENCY_HZ,
+    n_draws: int = 48,
+    grid_size: int = DEFAULT_GRID_SIZE,
+    seed: int = 0,
+    n_candidates: int = 60,
+    refine_rounds: int = 1,
+    refine_steps: Tuple[int, ...] = (1, 2, 5, 10, 20),
+    cache: Optional[PlanCache] = None,
+) -> OptimizationResult:
+    """Cached ``FrequencyOptimizer(...).optimize_conduction(threshold, ...)``."""
+    constraint = constraint if constraint is not None else FlatnessConstraint()
+    cache = cache if cache is not None else get_plan_cache()
+    key = plan_key(
+        kind="conduction",
+        n_antennas=n_antennas,
+        threshold=threshold,
+        alpha=constraint.alpha,
+        query_duration_s=constraint.query_duration_s,
+        center_frequency_hz=center_frequency_hz,
+        n_draws=n_draws,
+        grid_size=grid_size,
+        seed=seed,
+        n_candidates=n_candidates,
+        refine_rounds=refine_rounds,
+        refine_steps=tuple(refine_steps),
+    )
+    result = cache.lookup(key)
+    if result is not None:
+        return result
+    with get_instrumentation().stage("plan_search.conduction"):
+        optimizer = FrequencyOptimizer(
+            n_antennas,
+            constraint,
+            center_frequency_hz=center_frequency_hz,
+            n_draws=n_draws,
+            grid_size=grid_size,
+            seed=seed,
+        )
+        result = optimizer.optimize_conduction(
+            threshold,
+            n_candidates=n_candidates,
+            refine_rounds=refine_rounds,
+            refine_steps=tuple(refine_steps),
+        )
+    cache.store(key, result)
+    return result

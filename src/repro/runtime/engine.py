@@ -1,0 +1,487 @@
+"""Batched Monte-Carlo evaluation kernels.
+
+The legacy experiment loop in :mod:`repro.experiments.common` evaluates one
+channel draw per Python iteration. The kernels here stack all of a chunk's
+draws into ``(D, N)`` arrays and evaluate the peaks in a handful of numpy
+calls, choosing between three numerically characterized tiers:
+
+* ``"fft"`` -- the envelope over the capture grid is an inverse DFT of a
+  sparse spectrum (:func:`repro.core.optimizer.peak_amplitudes_fft`).
+  Available when every ``offset * duration`` is a distinct integer bin;
+  within a tier, batch evaluation is bitwise identical to row-by-row
+  evaluation, and it agrees with ``"direct"`` to ~1e-13 relative (the
+  summation order differs).
+* ``"direct"`` -- chunked :func:`repro.core.waveform.batch_peak_envelope`
+  over the same time grid; bitwise identical to the legacy scalar loop.
+* ``"scalar"`` -- one :func:`repro.core.waveform.peak_envelope` call per
+  draw; the reference implementation the regression tests compare against.
+
+``"auto"`` picks ``"fft"`` when the offsets are compatible, else
+``"direct"``.
+
+Working-set control matters more than raw vectorization here: a full
+``(D, N, T)`` direct evaluation can be slower than the scalar loop once the
+temporaries fall out of cache, so both vector tiers process draws in
+bounded-size chunks.
+
+The ``*_chunk`` functions at the bottom are the units of work the
+process-pool :class:`repro.runtime.runner.TrialRunner` fans out. Each one
+re-derives its per-trial generators from
+``SeedSequence(seed).spawn(n_trials)[start:start + count]`` and replicates
+the legacy per-trial draw order exactly, which is what makes results
+bit-identical across engines, chunk sizes, and worker counts.
+"""
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.mc import spawn_rngs
+from repro.core import waveform
+from repro.core.baselines import (
+    BlindSameFrequencyTransmitter,
+    CIBTransmitter,
+    TransmitterStrategy,
+)
+from repro.core.optimizer import peak_amplitudes_fft
+from repro.core.plan import CarrierPlan
+from repro.em.channel import BlindChannel
+from repro.em.media import Medium
+from repro.harvester.tag_power import HarvesterFrontEnd
+from repro.runtime.instrument import get_instrumentation
+from repro.sensors.tags import TagSpec
+
+ENGINES = ("auto", "fft", "direct", "scalar")
+"""Recognized engine names, in order of preference."""
+
+DIRECT_CHUNK_ELEMENTS = 1_000_000
+"""Cap on the ``(rows, N, T)`` complex working set of one direct chunk."""
+
+FFT_CHUNK_ELEMENTS = 8_000_000
+"""Cap on the ``(rows, grid)`` complex spectrum of one FFT chunk."""
+
+_TWO_PI = 2.0 * math.pi
+
+_SINGLE_SAMPLE_T = np.zeros(1)
+"""One-sample grid for strategies whose envelope is constant in time."""
+
+
+def fft_compatible(
+    offsets_hz: np.ndarray,
+    duration_s: float,
+    oversample: int = waveform.DEFAULT_OVERSAMPLE,
+) -> bool:
+    """Whether the FFT tier can evaluate this offset set exactly.
+
+    Requires every ``offset * duration`` to be a distinct non-negative
+    integer below half the capture grid size, so each carrier lands on its
+    own DFT bin.
+    """
+    if duration_s <= 0:
+        return False
+    offsets = np.asarray(offsets_hz, dtype=float)
+    if offsets.ndim != 1 or offsets.size == 0:
+        return False
+    bins = offsets * duration_s
+    if np.any(bins != np.round(bins)):
+        return False
+    bins_int = np.round(bins).astype(int)
+    if np.any(bins_int < 0) or np.unique(bins_int).size != bins_int.size:
+        return False
+    grid = waveform.time_grid(offsets, duration_s, oversample).size
+    return bool(np.all(bins_int < grid // 2))
+
+
+def resolve_engine(
+    engine: str,
+    offsets_hz: np.ndarray,
+    duration_s: float,
+    oversample: int = waveform.DEFAULT_OVERSAMPLE,
+) -> str:
+    """Map an engine request to a concrete tier for this offset set."""
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if engine == "auto":
+        if fft_compatible(offsets_hz, duration_s, oversample):
+            return "fft"
+        return "direct"
+    if engine == "fft" and not fft_compatible(offsets_hz, duration_s, oversample):
+        raise ValueError(
+            "fft engine requires offsets_hz * duration_s to be distinct "
+            f"integer bins, got offsets {np.asarray(offsets_hz)} over "
+            f"{duration_s}s"
+        )
+    return engine
+
+
+def _direct_peaks(
+    offsets: np.ndarray,
+    betas: np.ndarray,
+    t: np.ndarray,
+    amplitudes: Optional[np.ndarray],
+) -> np.ndarray:
+    n_draws = betas.shape[0]
+    per_row = max(1, offsets.size * t.size)
+    rows = max(1, DIRECT_CHUNK_ELEMENTS // per_row)
+    out = np.empty(n_draws)
+    for start in range(0, n_draws, rows):
+        sl = slice(start, start + rows)
+        chunk_amps = (
+            amplitudes[sl]
+            if amplitudes is not None and amplitudes.ndim == 2
+            else amplitudes
+        )
+        out[sl] = waveform.batch_peak_envelope(offsets, betas[sl], t, chunk_amps)
+    return out
+
+
+def _fft_peaks(
+    offsets: np.ndarray,
+    betas: np.ndarray,
+    duration_s: float,
+    amplitudes: Optional[np.ndarray],
+    grid_size: int,
+) -> np.ndarray:
+    n_draws = betas.shape[0]
+    rows = max(1, FFT_CHUNK_ELEMENTS // max(1, grid_size))
+    out = np.empty(n_draws)
+    for start in range(0, n_draws, rows):
+        sl = slice(start, start + rows)
+        chunk_amps = (
+            amplitudes[sl]
+            if amplitudes is not None and amplitudes.ndim == 2
+            else amplitudes
+        )
+        out[sl] = peak_amplitudes_fft(
+            offsets, betas[sl], grid_size, chunk_amps, duration_s
+        )
+    return out
+
+
+def peak_amplitudes(
+    offsets_hz: np.ndarray,
+    betas: np.ndarray,
+    duration_s: float = 1.0,
+    amplitudes: Optional[np.ndarray] = None,
+    engine: str = "auto",
+    oversample: int = waveform.DEFAULT_OVERSAMPLE,
+) -> np.ndarray:
+    """Peak envelope of each draw over the capture window.
+
+    Args:
+        offsets_hz: Frequency offsets, shape (N,).
+        betas: Phase draws, shape (D, N) (a 1-D vector is promoted).
+        duration_s: Capture window; the grid matches
+            :func:`repro.core.waveform.time_grid`.
+        amplitudes: Optional amplitudes, shape (N,) or per-draw (D, N).
+        engine: One of :data:`ENGINES`.
+
+    Returns:
+        Shape (D,) array of ``max_t |y_d(t)|``.
+    """
+    offsets = np.asarray(offsets_hz, dtype=float)
+    betas = np.atleast_2d(np.asarray(betas, dtype=float))
+    amps = None if amplitudes is None else np.asarray(amplitudes, dtype=float)
+    mode = resolve_engine(engine, offsets, duration_s, oversample)
+    if mode == "scalar":
+        out = np.empty(betas.shape[0])
+        for index in range(betas.shape[0]):
+            row_amps = amps if amps is None or amps.ndim == 1 else amps[index]
+            out[index], _ = waveform.peak_envelope(
+                offsets, betas[index], duration_s, row_amps, oversample
+            )
+        return out
+    t = waveform.time_grid(offsets, duration_s, oversample)
+    if mode == "direct":
+        return _direct_peaks(offsets, betas, t, amps)
+    return _fft_peaks(offsets, betas, duration_s, amps, t.size)
+
+
+def _blind_peaks(
+    gains: np.ndarray,
+    phases: np.ndarray,
+    residuals: np.ndarray,
+    scale: float,
+    duration_s: float,
+) -> np.ndarray:
+    """Batched :class:`BlindSameFrequencyTransmitter` peak amplitudes.
+
+    The per-draw residual frequencies rule out the FFT tier (they are not
+    integer bins), so this is a chunked direct evaluation on the fixed
+    ``MIN_TIME_SAMPLES`` grid the strategy uses.
+    """
+    t = np.linspace(0.0, duration_s, waveform.MIN_TIME_SAMPLES, endpoint=False)
+    n_draws, n_antennas = gains.shape
+    per_row = max(1, n_antennas * t.size)
+    rows = max(1, DIRECT_CHUNK_ELEMENTS // per_row)
+    out = np.empty(n_draws)
+    for start in range(0, n_draws, rows):
+        sl = slice(start, start + rows)
+        phase = (
+            _TWO_PI * residuals[sl][:, :, None] * t[None, None, :]
+            + phases[sl][:, :, None]
+        )
+        combined = np.sum(
+            gains[sl][:, :, None] * scale * np.exp(1j * phase), axis=1
+        )
+        out[sl] = np.max(np.abs(combined), axis=-1)
+    return out
+
+
+# -- trial-chunk work units ----------------------------------------------------
+#
+# Signature convention: (start, count) first so the pool runner can call
+# ``fn(start, count)`` on a functools.partial that binds everything else.
+
+
+def measure_gain_chunk(
+    start: int,
+    count: int,
+    channel_factory: Callable[[np.random.Generator], BlindChannel],
+    plan: CarrierPlan,
+    seed: int,
+    n_trials: int,
+    duration_s: float,
+    include_baseline: bool,
+    engine: str,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gains of trials ``[start, start + count)`` of a Sec. 6.1.1 sweep.
+
+    Returns ``(cib_gains, baseline_gains)`` arrays matching what the legacy
+    scalar loop stores in its :class:`~repro.experiments.common.GainSample`
+    list for the same trial indices.
+    """
+    instr = get_instrumentation()
+    n_antennas = plan.n_antennas
+    offsets = plan.offsets_array()
+    cib = CIBTransmitter(plan)
+    baseline = BlindSameFrequencyTransmitter(n_antennas)
+    plan_amps = plan.amplitudes_array()
+    residual_std = baseline.residual_offset_std_hz
+
+    gains_rows = np.empty((count, n_antennas), dtype=complex)
+    reference_peaks = np.empty(count)
+    cib_betas = np.empty((count, n_antennas))
+    cib_amps = np.empty((count, n_antennas))
+    blind_phases = np.empty((count, n_antennas))
+    blind_residuals = np.zeros((count, n_antennas))
+
+    with instr.stage("gain_trials.realize", trials=count):
+        rngs = spawn_rngs(seed, n_trials)[start : start + count]
+        for index, rng in enumerate(rngs):
+            channel = channel_factory(rng)
+            realization = channel.realize(rng)
+            reference_peaks[index] = float(np.max(np.abs(realization.gains)))
+            row = realization.gains[:n_antennas]
+            if row.size != n_antennas:
+                raise ValueError(
+                    f"channel produced {row.size} antennas but the plan "
+                    f"has {n_antennas}; the batched runtime needs them to "
+                    "match"
+                )
+            gains_rows[index] = row
+            oscillator = rng.uniform(0.0, _TWO_PI, size=n_antennas)
+            cib_betas[index] = oscillator + np.angle(row)
+            cib_amps[index] = np.abs(row) * plan_amps * cib.power_scale
+            if include_baseline:
+                blind_phases[index] = rng.uniform(0.0, _TWO_PI, size=n_antennas)
+                if residual_std > 0:
+                    blind_residuals[index] = rng.normal(
+                        0.0, residual_std, size=n_antennas
+                    )
+
+    with instr.stage("gain_trials.evaluate", trials=count):
+        cib_peaks = peak_amplitudes(
+            offsets, cib_betas, duration_s, cib_amps, engine
+        )
+        if include_baseline:
+            baseline_peaks = _blind_peaks(
+                gains_rows,
+                blind_phases,
+                blind_residuals,
+                baseline.power_scale,
+                duration_s,
+            )
+        else:
+            baseline_peaks = reference_peaks
+
+    cib_gains = (cib_peaks / reference_peaks) ** 2
+    baseline_gains = (baseline_peaks / reference_peaks) ** 2
+    return cib_gains, baseline_gains
+
+
+def power_up_chunk(
+    start: int,
+    count: int,
+    plan: CarrierPlan,
+    channel_factory: Callable[[np.random.Generator], BlindChannel],
+    medium_at_tag: Medium,
+    eirp_per_branch_w: float,
+    tag_spec: TagSpec,
+    seed: int,
+    n_trials: int,
+    engine: str,
+) -> int:
+    """Power-up successes among trials ``[start, start + count)``.
+
+    Batched equivalent of looping
+    :func:`repro.experiments.common.peak_input_voltage_v` over per-trial
+    generators and counting voltages above the tag threshold.
+    """
+    instr = get_instrumentation()
+    if eirp_per_branch_w <= 0:
+        raise ValueError("EIRP must be positive")
+    threshold = tag_spec.minimum_input_voltage_v()
+    n_antennas = plan.n_antennas
+    offsets = plan.offsets_array()
+    plan_amps = plan.amplitudes_array()
+    field_scale = math.sqrt(60.0 * eirp_per_branch_w)
+
+    betas = np.empty((count, n_antennas))
+    amplitudes = np.empty((count, n_antennas))
+
+    with instr.stage("power_up.realize", trials=count):
+        rngs = spawn_rngs(seed, n_trials)[start : start + count]
+        for index, rng in enumerate(rngs):
+            channel = channel_factory(rng)
+            realization = channel.realize(rng, plan.center_frequency_hz)
+            gains = realization.gains[:n_antennas]
+            if gains.size != n_antennas:
+                raise ValueError(
+                    f"channel produced {gains.size} antennas but the plan "
+                    f"has {n_antennas}; the batched runtime needs them to "
+                    "match"
+                )
+            betas[index] = rng.uniform(0.0, _TWO_PI, size=gains.size) + np.angle(
+                gains
+            )
+            amplitudes[index] = field_scale * np.abs(gains) * plan_amps
+
+    with instr.stage("power_up.evaluate", trials=count):
+        peak_fields = peak_amplitudes(offsets, betas, 1.0, amplitudes, engine)
+
+    front_end = HarvesterFrontEnd(
+        antenna=tag_spec.antenna,
+        chip_resistance_ohms=tag_spec.chip_resistance_ohms,
+        liquid_aperture_factor=tag_spec.liquid_aperture_factor,
+    )
+    successes = 0
+    for peak_field in peak_fields:
+        voltage = front_end.input_voltage_amplitude_v(
+            float(peak_field), medium_at_tag, plan.center_frequency_hz
+        )
+        if voltage >= threshold:
+            successes += 1
+    return successes
+
+
+def strategy_gain_chunk(
+    start: int,
+    count: int,
+    channel_factory: Callable[[np.random.Generator], BlindChannel],
+    strategy_factory: Callable[[BlindChannel], TransmitterStrategy],
+    seed: int,
+    n_trials: int,
+    duration_s: float,
+    engine: str,
+) -> np.ndarray:
+    """Strategy-vs-reference gains for trials ``[start, start + count)``.
+
+    Strategies are dispatched by type: CIB and blind-same-frequency trials
+    are accumulated into batches (grouped by plan / configuration in case
+    the factory varies them per channel), time-invariant strategies are
+    evaluated on a single sample, and anything unrecognized falls back to
+    the legacy per-trial call with the same generator -- so the returned
+    gains match :func:`repro.experiments.common.measure_strategy_gains`
+    exactly.
+    """
+    instr = get_instrumentation()
+    out = np.empty(count)
+    reference_peaks = np.empty(count)
+    cib_groups: Dict[tuple, Dict[str, list]] = {}
+    blind_groups: Dict[tuple, Dict[str, list]] = {}
+
+    with instr.stage("strategy_gains.realize", trials=count):
+        rngs = spawn_rngs(seed, n_trials)[start : start + count]
+        for index, rng in enumerate(rngs):
+            channel = channel_factory(rng)
+            strategy = strategy_factory(channel)
+            realization = channel.realize(rng)
+            reference = float(np.max(np.abs(realization.gains)))
+            reference_peaks[index] = reference
+            if isinstance(strategy, CIBTransmitter):
+                gains = realization.gains[: strategy.n_antennas]
+                oscillator = rng.uniform(0.0, _TWO_PI, size=gains.size)
+                offsets_used = strategy.plan.offsets_array()[: gains.size]
+                key = ("cib", tuple(offsets_used.tolist()))
+                group = cib_groups.setdefault(
+                    key,
+                    {"offsets": offsets_used, "idx": [], "betas": [], "amps": []},
+                )
+                group["idx"].append(index)
+                group["betas"].append(oscillator + np.angle(gains))
+                group["amps"].append(
+                    np.abs(gains)
+                    * strategy.plan.amplitudes_array()[: gains.size]
+                    * strategy.power_scale
+                )
+            elif isinstance(strategy, BlindSameFrequencyTransmitter):
+                gains = realization.gains[: strategy.n_antennas]
+                phases = rng.uniform(0.0, _TWO_PI, size=gains.size)
+                std = strategy.residual_offset_std_hz
+                residual = (
+                    rng.normal(0.0, std, size=gains.size)
+                    if std > 0
+                    else np.zeros(gains.size)
+                )
+                key = ("blind", gains.size, strategy.power_scale)
+                group = blind_groups.setdefault(
+                    key,
+                    {
+                        "scale": strategy.power_scale,
+                        "idx": [],
+                        "gains": [],
+                        "phases": [],
+                        "residuals": [],
+                    },
+                )
+                group["idx"].append(index)
+                group["gains"].append(gains)
+                group["phases"].append(phases)
+                group["residuals"].append(residual)
+            elif getattr(strategy, "TIME_INVARIANT", False):
+                peak = float(
+                    np.max(
+                        strategy.received_envelope(
+                            realization, _SINGLE_SAMPLE_T, rng
+                        )
+                    )
+                )
+                out[index] = (peak / reference) ** 2
+            else:
+                peak = strategy.peak_amplitude(realization, rng, duration_s)
+                out[index] = (peak / reference) ** 2
+
+    with instr.stage("strategy_gains.evaluate", trials=count):
+        for group in cib_groups.values():
+            idx = np.asarray(group["idx"], dtype=int)
+            peaks = peak_amplitudes(
+                group["offsets"],
+                np.vstack(group["betas"]),
+                duration_s,
+                np.vstack(group["amps"]),
+                engine,
+            )
+            out[idx] = (peaks / reference_peaks[idx]) ** 2
+        for group in blind_groups.values():
+            idx = np.asarray(group["idx"], dtype=int)
+            peaks = _blind_peaks(
+                np.vstack(group["gains"]),
+                np.vstack(group["phases"]),
+                np.vstack(group["residuals"]),
+                group["scale"],
+                duration_s,
+            )
+            out[idx] = (peaks / reference_peaks[idx]) ** 2
+    return out

@@ -1,0 +1,82 @@
+"""Per-stage wall-clock and trial counters for the Monte-Carlo runtime.
+
+The engine wraps its hot stages (channel realization, batched peak
+evaluation, pool dispatch) in :meth:`Instrumentation.stage` blocks; the CLI
+and the benchmark suite read the accumulated statistics back out.
+Formatting as a report table lives in
+:func:`repro.experiments.report.runtime_table` to keep this module free of
+experiment-layer imports.
+"""
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass
+class StageStat:
+    """Accumulated cost of one named runtime stage.
+
+    Attributes:
+        wall_s: Total wall-clock seconds spent in the stage.
+        calls: Number of times the stage ran.
+        trials: Total Monte-Carlo trials the stage processed.
+    """
+
+    wall_s: float = 0.0
+    calls: int = 0
+    trials: int = 0
+
+    @property
+    def trials_per_s(self) -> float:
+        """Trial throughput; 0 when no time was observed."""
+        if self.wall_s <= 0.0:
+            return 0.0
+        return self.trials / self.wall_s
+
+
+class Instrumentation:
+    """Registry of :class:`StageStat` entries keyed by stage name."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, StageStat] = {}
+
+    @contextmanager
+    def stage(self, name: str, trials: int = 0) -> Iterator[None]:
+        """Time a ``with`` block and credit it to stage ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start, trials)
+
+    def add(self, name: str, wall_s: float, trials: int = 0) -> None:
+        """Credit ``wall_s`` seconds and ``trials`` trials to ``name``."""
+        stat = self._stats.setdefault(name, StageStat())
+        stat.wall_s += wall_s
+        stat.calls += 1
+        stat.trials += trials
+
+    def rows(self) -> List[Tuple[str, float, int, int, float]]:
+        """``(stage, wall_s, calls, trials, trials_per_s)`` per stage."""
+        return [
+            (name, stat.wall_s, stat.calls, stat.trials, stat.trials_per_s)
+            for name, stat in sorted(self._stats.items())
+        ]
+
+    def total_wall_s(self) -> float:
+        """Sum of wall-clock time across every stage."""
+        return sum(stat.wall_s for stat in self._stats.values())
+
+    def reset(self) -> None:
+        """Drop all accumulated statistics."""
+        self._stats.clear()
+
+
+_GLOBAL = Instrumentation()
+
+
+def get_instrumentation() -> Instrumentation:
+    """The process-wide instrumentation registry the engine reports into."""
+    return _GLOBAL

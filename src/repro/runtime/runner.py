@@ -1,0 +1,75 @@
+"""Deterministic process-pool fan-out for Monte-Carlo trial chunks.
+
+:class:`TrialRunner` splits a trial range into contiguous ``(start, count)``
+spans and maps a chunk function over them, either in-process
+(``workers=1``) or across a ``concurrent.futures.ProcessPoolExecutor``.
+
+The determinism contract lives one level down: every chunk function in
+:mod:`repro.runtime.engine` re-derives its generators from
+``SeedSequence(seed).spawn(n_trials)[start:start + count]``, so per-trial
+random streams do not depend on how trials are grouped or which process
+executes them. The runner only has to keep the spans contiguous and
+concatenate results in span order -- which makes outputs bit-identical for
+any ``workers`` / ``chunk_size`` combination.
+
+Chunk functions must be picklable for ``workers > 1`` (module-level
+functions bound with :func:`functools.partial`, dataclass factories). A
+non-picklable function degrades to the in-process path with a warning
+rather than failing the experiment.
+"""
+
+import math
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class TrialRunner:
+    """Fans trial chunks across worker processes deterministically.
+
+    Attributes:
+        workers: Number of worker processes; 1 runs everything in-process.
+        chunk_size: Trials per chunk. Defaults to ``ceil(n / workers)`` so
+            each worker gets one span.
+    """
+
+    def __init__(self, workers: int = 1, chunk_size: Optional[int] = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = int(workers)
+        self.chunk_size = chunk_size
+
+    def spans(self, n_trials: int) -> List[Tuple[int, int]]:
+        """Contiguous ``(start, count)`` spans covering ``n_trials``."""
+        if n_trials <= 0:
+            raise ValueError(f"n_trials must be positive, got {n_trials}")
+        size = self.chunk_size or math.ceil(n_trials / self.workers)
+        return [
+            (start, min(size, n_trials - start))
+            for start in range(0, n_trials, size)
+        ]
+
+    def map_chunks(
+        self, fn: Callable[[int, int], Any], n_trials: int
+    ) -> List[Any]:
+        """Apply ``fn(start, count)`` to every span, results in span order."""
+        spans = self.spans(n_trials)
+        if self.workers == 1 or len(spans) == 1:
+            return [fn(start, count) for start, count in spans]
+        try:
+            pickle.dumps(fn)
+        except Exception:  # pickle raises several unrelated types
+            warnings.warn(
+                "trial chunk function is not picklable; running chunks "
+                "in-process instead of across worker processes",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [fn(start, count) for start, count in spans]
+        max_workers = min(self.workers, len(spans))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(fn, start, count) for start, count in spans]
+            return [future.result() for future in futures]

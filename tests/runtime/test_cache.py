@@ -1,0 +1,108 @@
+"""Unit tests for the frequency-search plan cache."""
+
+import json
+
+import pytest
+
+from repro.core.optimizer import FrequencyOptimizer
+from repro.runtime.cache import (
+    PlanCache,
+    optimized_conduction_plan,
+    optimized_plan,
+    plan_key,
+)
+
+
+class TestPlanKey:
+    def test_deterministic_and_order_insensitive(self):
+        assert plan_key(a=1, b=2) == plan_key(b=2, a=1)
+
+    def test_sensitive_to_every_parameter(self):
+        base = plan_key(kind="peak", seed=0, n_candidates=10)
+        assert plan_key(kind="peak", seed=1, n_candidates=10) != base
+        assert plan_key(kind="peak", seed=0, n_candidates=11) != base
+        assert plan_key(kind="conduction", seed=0, n_candidates=10) != base
+
+
+class TestPlanCache:
+    def test_memory_hit(self):
+        cache = PlanCache()
+        result = optimized_plan(
+            3, n_draws=8, n_candidates=4, refine_rounds=0, cache=cache
+        )
+        again = optimized_plan(
+            3, n_draws=8, n_candidates=4, refine_rounds=0, cache=cache
+        )
+        assert again is result
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_disk_round_trip(self, tmp_path):
+        writer = PlanCache(directory=tmp_path)
+        result = optimized_plan(
+            3, n_draws=8, n_candidates=4, refine_rounds=0, cache=writer
+        )
+        reader = PlanCache(directory=tmp_path)
+        cached = optimized_plan(
+            3, n_draws=8, n_candidates=4, refine_rounds=0, cache=reader
+        )
+        assert reader.hits == 1
+        assert cached.plan == result.plan
+        assert cached.expected_peak == result.expected_peak
+        assert cached.history == result.history
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = PlanCache(directory=tmp_path)
+        key = "deadbeef"
+        (tmp_path / f"plan_{key}.json").write_text("{not json")
+        assert cache.lookup(key) is None
+        assert cache.misses == 1
+
+    def test_disabled_cache_never_hits(self):
+        cache = PlanCache(enabled=False)
+        first = optimized_plan(
+            3, n_draws=8, n_candidates=4, refine_rounds=0, cache=cache
+        )
+        second = optimized_plan(
+            3, n_draws=8, n_candidates=4, refine_rounds=0, cache=cache
+        )
+        assert cache.hits == 0 and cache.misses == 2
+        assert first is not second
+        assert first.plan == second.plan  # same seed, fresh optimizers
+
+    def test_cached_result_matches_direct_search(self):
+        cache = PlanCache()
+        cached = optimized_plan(
+            4, n_draws=8, seed=3, n_candidates=5, refine_rounds=0, cache=cache
+        )
+        direct = FrequencyOptimizer(4, n_draws=8, seed=3).optimize(
+            n_candidates=5, refine_rounds=0
+        )
+        assert cached.plan == direct.plan
+        assert cached.expected_peak == direct.expected_peak
+
+    def test_conduction_helper_matches_direct_search(self):
+        cache = PlanCache()
+        cached = optimized_conduction_plan(
+            4,
+            2.0,
+            n_draws=8,
+            seed=3,
+            n_candidates=5,
+            refine_rounds=0,
+            cache=cache,
+        )
+        direct = FrequencyOptimizer(4, n_draws=8, seed=3).optimize_conduction(
+            2.0, n_candidates=5, refine_rounds=0
+        )
+        assert cached.plan == direct.plan
+        # A second call with a different threshold misses (key includes it).
+        optimized_conduction_plan(
+            4,
+            3.0,
+            n_draws=8,
+            seed=3,
+            n_candidates=5,
+            refine_rounds=0,
+            cache=cache,
+        )
+        assert cache.misses == 2

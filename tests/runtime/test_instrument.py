@@ -1,0 +1,56 @@
+"""Unit tests for the runtime instrumentation registry."""
+
+from repro.experiments.report import runtime_table
+from repro.runtime.instrument import Instrumentation, get_instrumentation
+
+
+class TestInstrumentation:
+    def test_stage_accumulates(self):
+        instr = Instrumentation()
+        with instr.stage("evaluate", trials=10):
+            pass
+        with instr.stage("evaluate", trials=5):
+            pass
+        rows = instr.rows()
+        assert len(rows) == 1
+        name, wall_s, calls, trials, trials_per_s = rows[0]
+        assert name == "evaluate"
+        assert wall_s >= 0.0
+        assert calls == 2
+        assert trials == 15
+        assert trials_per_s >= 0.0
+
+    def test_stage_records_on_exception(self):
+        instr = Instrumentation()
+        try:
+            with instr.stage("broken"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert instr.rows()[0][2] == 1
+
+    def test_total_and_reset(self):
+        instr = Instrumentation()
+        instr.add("a", 1.5, trials=3)
+        instr.add("b", 0.5)
+        assert instr.total_wall_s() == 2.0
+        instr.reset()
+        assert instr.rows() == []
+        assert instr.total_wall_s() == 0.0
+
+    def test_zero_wall_throughput_is_zero(self):
+        instr = Instrumentation()
+        instr.add("a", 0.0, trials=100)
+        assert instr.rows()[0][4] == 0.0
+
+    def test_global_registry_is_shared(self):
+        assert get_instrumentation() is get_instrumentation()
+
+    def test_runtime_table_renders(self):
+        instr = Instrumentation()
+        instr.add("gain_trials.evaluate", 0.25, trials=100)
+        table = runtime_table(instr)
+        assert table.column("stage") == ["gain_trials.evaluate", "TOTAL"]
+        rendered = table.render()
+        assert "trials/s" in rendered
+        assert "TOTAL" in rendered

@@ -1,0 +1,53 @@
+"""Unit tests for the deterministic trial-chunk runner."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.runner import TrialRunner
+
+
+def span_indices(start: int, count: int) -> np.ndarray:
+    """Module-level (hence picklable) chunk function for pool tests."""
+    return np.arange(start, start + count)
+
+
+class TestSpans:
+    def test_one_chunk_per_worker_by_default(self):
+        assert TrialRunner(workers=3).spans(9) == [(0, 3), (3, 3), (6, 3)]
+
+    def test_uneven_split_keeps_cover_exact(self):
+        spans = TrialRunner(workers=4).spans(10)
+        assert spans == [(0, 3), (3, 3), (6, 3), (9, 1)]
+        assert sum(count for _, count in spans) == 10
+
+    def test_explicit_chunk_size(self):
+        assert TrialRunner(chunk_size=4).spans(10) == [(0, 4), (4, 4), (8, 2)]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            TrialRunner(workers=0)
+        with pytest.raises(ValueError):
+            TrialRunner(chunk_size=0)
+        with pytest.raises(ValueError):
+            TrialRunner().spans(0)
+
+
+class TestMapChunks:
+    def test_in_process_covers_all_trials(self):
+        parts = TrialRunner(chunk_size=3).map_chunks(span_indices, 10)
+        assert np.concatenate(parts).tolist() == list(range(10))
+
+    def test_pool_matches_in_process(self):
+        serial = TrialRunner(workers=1).map_chunks(span_indices, 12)
+        pooled = TrialRunner(workers=3).map_chunks(span_indices, 12)
+        assert np.concatenate(pooled).tolist() == np.concatenate(
+            serial
+        ).tolist()
+
+    def test_lambda_falls_back_in_process_with_warning(self):
+        runner = TrialRunner(workers=2)
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            parts = runner.map_chunks(
+                lambda start, count: list(range(start, start + count)), 6
+            )
+        assert [v for part in parts for v in part] == list(range(6))

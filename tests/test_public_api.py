@@ -20,6 +20,7 @@ PUBLIC_MODULES = (
     "repro.harvester",
     "repro.reader",
     "repro.rf",
+    "repro.runtime",
     "repro.sensors",
 )
 
