@@ -7,19 +7,32 @@ Usage::
     python -m repro.experiments fig13 --fast
     python -m repro.experiments all --fast
     python -m repro.experiments fig09 --workers 4 --timings
+    python -m repro.experiments fig09 --fast --trace-out t.jsonl \
+        --metrics-out m.json --manifest-out r.json
+    python -m repro.experiments obs-report --trace-in t.jsonl \
+        --metrics-in m.json
 
 Each experiment prints the table(s) the corresponding paper figure shows.
 Monte-Carlo experiments run on the batched :mod:`repro.runtime` engine;
 ``--workers`` fans trial chunks across processes (results are bit-identical
-for any worker count), ``--timings`` prints the per-stage runtime table,
-and ``--no-plan-cache`` disables the frequency-search cache.
+for any worker count), ``--timings`` prints the per-stage runtime table
+(worker-process stages are merged back into it) plus plan-cache hit/miss
+counts, and ``--no-plan-cache`` disables the frequency-search cache.
+
+Every invocation runs inside its own observability scope
+(:func:`repro.obs.obs_context`): ``--trace-out`` writes the span tree as
+JSONL, ``--metrics-out`` writes the metrics registry as JSON, and
+``--manifest-out`` writes a run manifest (configs, seeds, git rev,
+versions, metric summary) sufficient to reproduce the printed tables. The
+``obs-report`` subcommand renders those files back into summary tables.
 """
 
 import argparse
 import dataclasses
+import json
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
     ablations,
@@ -67,7 +80,7 @@ def _configure(config, workers: int):
     return config
 
 
-def _run_figure(module, fast: bool, workers: int = 1):
+def _run_figure(module, fast: bool, workers: int = 1, record: Optional[dict] = None):
     config_cls = next(
         (
             getattr(module, name)
@@ -79,14 +92,19 @@ def _run_figure(module, fast: bool, workers: int = 1):
     if config_cls is None:
         return module.run()
     config = config_cls.fast() if fast and hasattr(config_cls, "fast") else config_cls()
-    return module.run(_configure(config, workers))
+    config = _configure(config, workers)
+    if record is not None:
+        record["config"] = config
+    return module.run(config)
 
 
-def _run_ablations(fast: bool, workers: int = 1):
+def _run_ablations(fast: bool, workers: int = 1, record: Optional[dict] = None):
     config = (
         ablations.AblationConfig.fast() if fast else ablations.AblationConfig()
     )
     config = _configure(config, workers)
+    if record is not None:
+        record["config"] = config
     return [
         ablations.beamsteering_across_media(config),
         ablations.equal_power_scaling(config),
@@ -96,35 +114,37 @@ def _run_ablations(fast: bool, workers: int = 1):
     ]
 
 
-EXPERIMENTS: Dict[str, Callable[[bool, int], object]] = {
-    "fig04": lambda fast, workers: _run_figure(fig04, fast, workers),
-    "fig05": lambda fast, workers: _run_figure(fig05, fast),
-    "fig06": lambda fast, workers: _run_figure(fig06, fast),
-    "fig09": lambda fast, workers: _run_figure(fig09, fast, workers),
-    "fig10": lambda fast, workers: _run_figure(fig10, fast, workers),
-    "fig11": lambda fast, workers: _run_figure(fig11, fast, workers),
-    "fig12": lambda fast, workers: _run_figure(fig12, fast, workers),
-    "fig13": lambda fast, workers: _run_figure(fig13, fast, workers),
-    "invivo": lambda fast, workers: _run_figure(invivo, fast),
-    "optogenetics": lambda fast, workers: _run_figure(optogenetics, fast),
-    "throughput": lambda fast, workers: _run_figure(inventory_throughput, fast),
-    "wakeup": lambda fast, workers: _run_figure(wakeup_latency, fast),
-    "sensitivity": lambda fast, workers: _run_figure(sensitivity, fast),
-    "ber": lambda fast, workers: _run_figure(ber, fast, workers),
-    "constraints": lambda fast, workers: constraint_check.run(),
+EXPERIMENTS: Dict[str, Callable[..., object]] = {
+    "fig04": lambda fast, workers, record=None: _run_figure(fig04, fast, workers, record),
+    "fig05": lambda fast, workers, record=None: _run_figure(fig05, fast, record=record),
+    "fig06": lambda fast, workers, record=None: _run_figure(fig06, fast, record=record),
+    "fig09": lambda fast, workers, record=None: _run_figure(fig09, fast, workers, record),
+    "fig10": lambda fast, workers, record=None: _run_figure(fig10, fast, workers, record),
+    "fig11": lambda fast, workers, record=None: _run_figure(fig11, fast, workers, record),
+    "fig12": lambda fast, workers, record=None: _run_figure(fig12, fast, workers, record),
+    "fig13": lambda fast, workers, record=None: _run_figure(fig13, fast, workers, record),
+    "invivo": lambda fast, workers, record=None: _run_figure(invivo, fast, record=record),
+    "optogenetics": lambda fast, workers, record=None: _run_figure(optogenetics, fast, record=record),
+    "throughput": lambda fast, workers, record=None: _run_figure(inventory_throughput, fast, record=record),
+    "wakeup": lambda fast, workers, record=None: _run_figure(wakeup_latency, fast, record=record),
+    "sensitivity": lambda fast, workers, record=None: _run_figure(sensitivity, fast, record=record),
+    "ber": lambda fast, workers, record=None: _run_figure(ber, fast, workers, record),
+    "constraints": lambda fast, workers, record=None: constraint_check.run(),
     "ablations": _run_ablations,
 }
 
 
-def main(argv=None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the IVN paper's tables and figures.",
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["list", "all"],
-        help="which experiment to run ('list' to enumerate, 'all' for every one)",
+        choices=sorted(EXPERIMENTS) + ["list", "all", "obs-report"],
+        help="which experiment to run ('list' to enumerate, 'all' for every "
+        "one, 'obs-report' to summarize previously written trace/metrics "
+        "files)",
     )
     parser.add_argument(
         "--fast",
@@ -146,21 +166,120 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--timings",
         action="store_true",
-        help="print the per-stage runtime instrumentation table "
-        "(stages executed in worker processes are not aggregated; "
-        "use --workers 1 for complete timings)",
+        help="print the per-stage runtime table (worker-process stages are "
+        "merged in) and plan-cache hit/miss counts",
     )
     parser.add_argument(
         "--no-plan-cache",
         action="store_true",
         help="disable the frequency-search plan cache",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write the run's span trace as JSONL (one span per line)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the run's aggregated metrics registry as JSON",
+    )
+    parser.add_argument(
+        "--manifest-out",
+        metavar="PATH",
+        help="write a JSON run manifest (configs, seeds, git rev, versions, "
+        "metric summary) sufficient to rerun the experiment",
+    )
+    parser.add_argument(
+        "--trace-in",
+        metavar="PATH",
+        help="obs-report: trace JSONL file to summarize",
+    )
+    parser.add_argument(
+        "--metrics-in",
+        metavar="PATH",
+        help="obs-report: metrics JSON file to summarize",
+    )
+    parser.add_argument(
+        "--manifest-in",
+        metavar="PATH",
+        help="obs-report: run manifest to summarize",
+    )
+    return parser
+
+
+def _obs_report(args) -> int:
+    """Render previously written trace / metrics / manifest files."""
+    from repro.experiments.report import (
+        Table,
+        metrics_table,
+        trace_summary_table,
+    )
+    from repro.obs import read_jsonl, read_manifest, validate_manifest
+
+    if not (args.trace_in or args.metrics_in or args.manifest_in):
+        print(
+            "obs-report needs at least one of --trace-in, --metrics-in, "
+            "--manifest-in",
+            file=sys.stderr,
+        )
+        return 2
+    if args.manifest_in:
+        manifest = read_manifest(args.manifest_in)
+        problems = validate_manifest(manifest)
+        table = Table(
+            title=f"Run manifest -- {manifest.get('experiment', '?')}",
+            headers=("field", "value"),
+        )
+        environment = manifest.get("environment") or {}
+        table.add_row("schema_version", manifest.get("schema_version"))
+        table.add_row("experiment", manifest.get("experiment"))
+        table.add_row("workers", manifest.get("workers"))
+        table.add_row(
+            "engine_tiers", ",".join(manifest.get("engine_tiers") or []) or "-"
+        )
+        table.add_row(
+            "seeds",
+            ",".join(
+                str(run.get("seed"))
+                for run in manifest.get("runs", [])
+            )
+            or "-",
+        )
+        table.add_row("git_rev", environment.get("git_rev") or "-")
+        table.add_row("package", environment.get("package_version") or "-")
+        table.add_row(
+            "command",
+            " ".join(manifest.get("command") or []) or "-",
+        )
+        table.add_row("valid", not problems)
+        print()
+        print(table.render())
+        for problem in problems:
+            print(f"  manifest problem: {problem}")
+    if args.trace_in:
+        spans = read_jsonl(args.trace_in)
+        print()
+        print(trace_summary_table(spans).render())
+        print(f"({len(spans)} spans in {args.trace_in})")
+    if args.metrics_in:
+        with open(args.metrics_in, "r", encoding="utf-8") as handle:
+            metrics = json.load(handle)
+        print()
+        print(metrics_table(metrics).render())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
+    if args.experiment == "obs-report":
+        return _obs_report(args)
 
     if args.workers < 1:
         parser.error("--workers must be >= 1")
@@ -169,31 +288,63 @@ def main(argv=None) -> int:
 
         configure_plan_cache(enabled=False)
 
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        start = time.perf_counter()
-        result = EXPERIMENTS[name](args.fast, args.workers)
-        elapsed = time.perf_counter() - start
-        print()
-        print(f"### {name} ({elapsed:.1f} s)")
-        items = result if isinstance(result, list) else _tables_of(result)
-        for table in items:
-            print()
-            print(table.render() if hasattr(table, "render") else table)
-        if args.plot:
-            for plot in _plots_of(result):
-                print()
-                print(plot)
-    if args.timings:
-        from repro.experiments.report import runtime_table
-        from repro.runtime import get_instrumentation
+    from repro.obs import build_manifest, obs_context, run_record, write_manifest
 
-        print()
-        print(runtime_table(get_instrumentation()).render())
-        if args.workers > 1 and not get_instrumentation().rows():
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    runs = []
+    with obs_context() as obs:
+        for name in names:
+            record: dict = {}
+            start = time.perf_counter()
+            with obs.tracer.span("cli.experiment", experiment=name):
+                result = EXPERIMENTS[name](args.fast, args.workers, record)
+            elapsed = time.perf_counter() - start
+            runs.append(
+                run_record(
+                    name, config=record.get("config"), elapsed_s=elapsed
+                )
+            )
+            print()
+            print(f"### {name} ({elapsed:.1f} s)")
+            items = result if isinstance(result, list) else _tables_of(result)
+            for table in items:
+                print()
+                print(table.render() if hasattr(table, "render") else table)
+            if args.plot:
+                for plot in _plots_of(result):
+                    print()
+                    print(plot)
+        if args.timings:
+            from repro.experiments.report import runtime_table
+
+            counters = obs.metrics.counters()
+            print()
+            print(runtime_table(obs.instrumentation).render())
             print(
-                "(stages ran inside worker processes; "
-                "re-run with --workers 1 for per-stage timings)"
+                "plan cache: "
+                f"{int(counters.get('plan_cache.hits', 0))} hits, "
+                f"{int(counters.get('plan_cache.misses', 0))} misses, "
+                f"{int(counters.get('plan_cache.evictions', 0))} evictions"
+            )
+        if args.trace_out:
+            obs.tracer.write_jsonl(args.trace_out)
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(obs.metrics.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        if args.manifest_out:
+            command = ["python", "-m", "repro.experiments"] + list(
+                argv if argv is not None else sys.argv[1:]
+            )
+            write_manifest(
+                args.manifest_out,
+                build_manifest(
+                    runs,
+                    workers=args.workers,
+                    command=command,
+                    metrics=obs.metrics.summary(),
+                    trace_path=args.trace_out,
+                ),
             )
     return 0
 

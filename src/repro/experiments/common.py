@@ -31,6 +31,7 @@ from repro.em.media import Medium
 from repro.em.multipath import MultipathProfile
 from repro.em.phantoms import WaterTankPhantom
 from repro.harvester.tag_power import HarvesterFrontEnd
+from repro.obs.context import current_obs
 from repro.runtime import engine as engine_mod
 from repro.runtime.runner import TrialRunner
 from repro.sensors.tags import TagSpec
@@ -128,7 +129,14 @@ def measure_gain_trials(
         include_baseline=include_baseline,
         engine=engine,
     )
-    parts = runner.map_chunks(fn, n_trials)
+    with current_obs().tracer.span(
+        "experiment.measure_gain_trials",
+        n_trials=n_trials,
+        seed=seed,
+        workers=workers,
+        engine=engine,
+    ):
+        parts = runner.map_chunks(fn, n_trials)
     cib_gains = np.concatenate([part[0] for part in parts])
     baseline_gains = np.concatenate([part[1] for part in parts])
     return [
@@ -234,7 +242,14 @@ def power_up_probability(
         n_trials=n_trials,
         engine=engine,
     )
-    successes = sum(runner.map_chunks(fn, n_trials))
+    with current_obs().tracer.span(
+        "experiment.power_up_probability",
+        n_trials=n_trials,
+        seed=seed,
+        workers=workers,
+        engine=engine,
+    ):
+        successes = sum(runner.map_chunks(fn, n_trials))
     return successes / n_trials
 
 
@@ -289,7 +304,14 @@ def measure_strategy_gains(
         duration_s=duration_s,
         engine=engine,
     )
-    parts = runner.map_chunks(fn, n_trials)
+    with current_obs().tracer.span(
+        "experiment.measure_strategy_gains",
+        n_trials=n_trials,
+        seed=seed,
+        workers=workers,
+        engine=engine,
+    ):
+        parts = runner.map_chunks(fn, n_trials)
     return [float(gain) for gain in np.concatenate(parts)]
 
 

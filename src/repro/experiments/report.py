@@ -95,6 +95,68 @@ def runtime_table(instrumentation) -> Table:
     return table
 
 
+def trace_summary_table(span_dicts: Sequence[dict]) -> Table:
+    """Aggregate a span list (e.g. a JSONL trace) into a per-name table.
+
+    Args:
+        span_dicts: Exported span dicts (``repro.obs.trace`` schema:
+            ``name`` / ``duration_s`` / ``parent_id`` / ``attrs``), as
+            returned by :func:`repro.obs.read_jsonl` or
+            ``Tracer.to_dicts()``.
+    """
+    aggregated: dict = {}
+    for span in span_dicts:
+        entry = aggregated.setdefault(
+            span["name"], {"count": 0, "total": 0.0, "max": 0.0}
+        )
+        duration = float(span.get("duration_s") or 0.0)
+        entry["count"] += 1
+        entry["total"] += duration
+        entry["max"] = max(entry["max"], duration)
+    table = Table(
+        title="Trace -- spans aggregated by name",
+        headers=("span", "count", "total (s)", "mean (s)", "max (s)"),
+    )
+    for name in sorted(aggregated):
+        entry = aggregated[name]
+        table.add_row(
+            name,
+            entry["count"],
+            entry["total"],
+            entry["total"] / entry["count"],
+            entry["max"],
+        )
+    return table
+
+
+def metrics_table(metrics_dict: dict) -> Table:
+    """Render a ``MetricsRegistry.to_dict()`` snapshot as one table.
+
+    Counters and gauges show their value; histograms show count, mean and
+    observed extremes (buckets stay in the JSON for machine consumers).
+    """
+    table = Table(
+        title="Metrics -- counters, gauges, histograms",
+        headers=("metric", "type", "value", "mean", "min", "max"),
+    )
+    for name, value in sorted((metrics_dict.get("counters") or {}).items()):
+        table.add_row(name, "counter", value, "", "", "")
+    for name, value in sorted((metrics_dict.get("gauges") or {}).items()):
+        table.add_row(name, "gauge", value, "", "", "")
+    for name, data in sorted((metrics_dict.get("histograms") or {}).items()):
+        count = int(data.get("count") or 0)
+        mean = (float(data.get("total") or 0.0) / count) if count else 0.0
+        table.add_row(
+            name,
+            "histogram",
+            count,
+            mean,
+            "" if data.get("min") is None else data["min"],
+            "" if data.get("max") is None else data["max"],
+        )
+    return table
+
+
 def ascii_series(
     x: Sequence[float],
     y: Sequence[float],

@@ -1,0 +1,135 @@
+"""Context-scoped observability provider.
+
+One :class:`ObsContext` bundles the three telemetry surfaces of a run --
+a :class:`~repro.obs.trace.Tracer`, a
+:class:`~repro.obs.metrics.MetricsRegistry`, and the per-stage wall-clock
+:class:`~repro.runtime.instrument.Instrumentation` -- behind a
+``contextvars.ContextVar``.  The runtime reads whatever context is current
+(:func:`current_obs`); the CLI and tests open a fresh scope with
+:func:`obs_context`, so concurrent or back-to-back runs never
+cross-contaminate, which the old process-global ``Instrumentation``
+singleton could not guarantee.
+
+A lazily created process-default context backs :func:`current_obs` when no
+scope is active, preserving the historical "just call
+``get_instrumentation()``" workflow for benchmarks and ad-hoc scripts.  Its
+tracer is capped so an un-scoped long session cannot grow without bound.
+
+Worker processes get a fresh context per chunk
+(:func:`repro.runtime.runner` wraps chunk functions); the context's
+:meth:`ObsContext.export_state` / :meth:`ObsContext.absorb_state` pair is
+the wire format that carries worker telemetry back over the pool-result
+path for merging in the parent.
+
+This module deliberately imports nothing from :mod:`repro.runtime` at
+module scope (only lazily, inside functions) so `repro.obs` and
+`repro.runtime` can instrument each other without import cycles.
+"""
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+DEFAULT_MAX_SPANS = 4096
+"""Span-retention cap of the process-default (un-scoped) tracer."""
+
+STATE_VERSION = 1
+"""Version tag of the worker -> parent telemetry payload."""
+
+
+@dataclass
+class ObsContext:
+    """One run's tracer + metrics registry + stage instrumentation."""
+
+    tracer: Tracer
+    metrics: MetricsRegistry
+    instrumentation: Any  # repro.runtime.instrument.Instrumentation
+
+    @contextmanager
+    def stage_span(self, name: str, trials: int = 0, **attrs: Any) -> Iterator[Any]:
+        """Time a block as both a named stage and a trace span.
+
+        The stage feeds the ``--timings`` table
+        (:meth:`Instrumentation.stage` semantics); the span carries the
+        same name plus ``attrs`` into the trace. Yields the span so the
+        block can attach result attributes.
+        """
+        if trials:
+            attrs.setdefault("trials", trials)
+        with self.instrumentation.stage(name, trials=trials):
+            with self.tracer.span(name, **attrs) as span:
+                yield span
+
+    def export_state(self) -> Dict[str, Any]:
+        """Picklable/JSON-able snapshot for the pool-result path."""
+        return {
+            "version": STATE_VERSION,
+            "stages": self.instrumentation.snapshot(),
+            "metrics": self.metrics.to_dict(),
+            "spans": self.tracer.to_dicts(),
+        }
+
+    def absorb_state(
+        self,
+        payload: Dict[str, Any],
+        extra_attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Merge a worker context's :meth:`export_state` into this one."""
+        self.instrumentation.merge_rows(payload.get("stages") or [])
+        self.metrics.merge_dict(payload.get("metrics") or {})
+        self.tracer.absorb(payload.get("spans") or [], extra_attrs=extra_attrs)
+
+
+def _new_context(max_spans: Optional[int] = None) -> ObsContext:
+    # Lazy import: repro.runtime.instrument's get_instrumentation() shim
+    # reaches back into this module, so the class is resolved at call time.
+    from repro.runtime.instrument import Instrumentation
+
+    return ObsContext(
+        tracer=Tracer(max_spans=max_spans),
+        metrics=MetricsRegistry(),
+        instrumentation=Instrumentation(),
+    )
+
+
+_DEFAULT: Optional[ObsContext] = None
+_CURRENT: ContextVar[Optional[ObsContext]] = ContextVar(
+    "repro_obs_context", default=None
+)
+
+
+def default_obs() -> ObsContext:
+    """The process-default context used when no scope is active."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = _new_context(max_spans=DEFAULT_MAX_SPANS)
+    return _DEFAULT
+
+
+def current_obs() -> ObsContext:
+    """The active :class:`ObsContext` (the process default outside scopes)."""
+    context = _CURRENT.get()
+    return context if context is not None else default_obs()
+
+
+@contextmanager
+def obs_context(
+    context: Optional[ObsContext] = None,
+    max_spans: Optional[int] = None,
+) -> Iterator[ObsContext]:
+    """Run a block under a fresh (or supplied) observability context.
+
+    Everything the runtime records inside the block -- spans, metrics,
+    stage timings, worker payload merges -- lands in the yielded context
+    and nowhere else.
+    """
+    context = context if context is not None else _new_context(max_spans=max_spans)
+    token = _CURRENT.set(context)
+    try:
+        yield context
+    finally:
+        _CURRENT.reset(token)

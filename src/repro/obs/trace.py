@@ -1,0 +1,222 @@
+"""Span-based tracing for the Monte-Carlo runtime.
+
+A :class:`Tracer` records nested, named spans with monotonic
+(``time.perf_counter``) timestamps and free-form attributes.  Spans form a
+tree through ``parent_id`` links maintained by an explicit span stack, so a
+chunk function instrumented with ``tracer.span(...)`` nests naturally under
+the experiment driver that dispatched it.
+
+Export is one JSON object per line (JSONL): the format survives partial
+writes, streams through ``jq``, and concatenates across processes --
+:meth:`Tracer.absorb` remaps span ids so worker-process spans merge into the
+parent trace without collisions.
+
+Tracers are cheap but not free; the process-default tracer created by
+:mod:`repro.obs.context` is capped (``max_spans``) so long benchmark
+sessions cannot grow memory without bound.  Dropped spans are counted, never
+silently ignored.
+"""
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+TRACE_SCHEMA_VERSION = 1
+"""Bumped when the per-line span schema changes incompatibly."""
+
+SPAN_FIELDS = ("name", "span_id", "parent_id", "start_s", "end_s", "attrs")
+"""Keys every exported span dict carries (plus derived ``duration_s``)."""
+
+
+@dataclass
+class Span:
+    """One timed, named region of execution.
+
+    Attributes:
+        name: Dotted stage name, e.g. ``"engine.evaluate"``.
+        span_id: Id unique within the owning tracer (> 0).
+        parent_id: Enclosing span's id, or None for a root span.
+        start_s / end_s: ``time.perf_counter`` timestamps; ``end_s`` is 0
+            until the span closes.
+        attrs: Free-form JSON-serializable attributes. Mutable while the
+            span is open, so callers can attach results (cache hit, tier).
+    """
+
+    name: str
+    span_id: int
+    parent_id: Optional[int] = None
+    start_s: float = 0.0
+    end_s: float = 0.0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock length; 0 while the span is still open."""
+        if self.end_s <= self.start_s:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (one JSONL line)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Span":
+        """Inverse of :meth:`to_dict` (``duration_s`` is re-derived)."""
+        return cls(
+            name=str(payload["name"]),
+            span_id=int(payload["span_id"]),
+            parent_id=(
+                None
+                if payload.get("parent_id") is None
+                else int(payload["parent_id"])
+            ),
+            start_s=float(payload["start_s"]),
+            end_s=float(payload["end_s"]),
+            attrs=dict(payload.get("attrs") or {}),
+        )
+
+
+class Tracer:
+    """Records a tree of :class:`Span` objects for one run scope.
+
+    Attributes:
+        max_spans: Retention cap; once reached, further spans are counted
+            in :attr:`dropped` instead of stored (None = unbounded).
+        dropped: Spans discarded because of the cap.
+    """
+
+    def __init__(self, max_spans: Optional[int] = None):
+        if max_spans is not None and max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        self.max_spans = max_spans
+        self.dropped = 0
+        self._spans: List[Span] = []
+        self._stack: List[int] = []
+        self._next_id = 1
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a span for the duration of a ``with`` block.
+
+        Yields the (mutable) :class:`Span` so the block can attach result
+        attributes. The span is recorded when the block exits, even on
+        exception (with an ``"error"`` attribute naming the exception
+        type).
+        """
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=self._stack[-1] if self._stack else None,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._stack.append(span.span_id)
+        span.start_s = time.perf_counter()
+        try:
+            yield span
+        except BaseException as exc:
+            span.attrs.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            span.end_s = time.perf_counter()
+            self._stack.pop()
+            self._record(span)
+
+    def _record(self, span: Span) -> None:
+        if self.max_spans is not None and len(self._spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self._spans.append(span)
+
+    @property
+    def spans(self) -> List[Span]:
+        """Recorded spans, in completion (post-) order."""
+        return list(self._spans)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Every recorded span as a JSON-serializable dict."""
+        return [span.to_dict() for span in self._spans]
+
+    def absorb(
+        self,
+        span_dicts: Iterable[Dict[str, Any]],
+        extra_attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Merge spans exported by another tracer (e.g. a worker process).
+
+        Span ids are remapped past this tracer's counter so the merged
+        trace has no collisions; parent links inside the absorbed set are
+        preserved, and absorbed roots stay roots.
+        """
+        offset = self._next_id
+        highest = 0
+        for payload in span_dicts:
+            span = Span.from_dict(payload)
+            highest = max(highest, span.span_id)
+            span.span_id += offset
+            if span.parent_id is not None:
+                span.parent_id += offset
+            if extra_attrs:
+                for key, value in extra_attrs.items():
+                    span.attrs.setdefault(key, value)
+            self._record(span)
+        self._next_id = offset + highest + 1
+
+    def write_jsonl(self, path) -> None:
+        """Write the trace as one JSON span per line."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for payload in self.to_dicts():
+                handle.write(json.dumps(payload, sort_keys=True))
+                handle.write("\n")
+
+    def clear(self) -> None:
+        """Drop recorded spans (open-span stack and ids are kept)."""
+        self._spans.clear()
+        self.dropped = 0
+
+
+def read_jsonl(path) -> List[Dict[str, Any]]:
+    """Load a JSONL trace file back into span dicts (blank lines skipped)."""
+    spans: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def validate_span_dict(payload: Dict[str, Any]) -> List[str]:
+    """Schema problems of one exported span dict (empty list = valid)."""
+    problems: List[str] = []
+    for key in SPAN_FIELDS:
+        if key not in payload:
+            problems.append(f"missing key {key!r}")
+    if problems:
+        return problems
+    if not isinstance(payload["name"], str) or not payload["name"]:
+        problems.append("name must be a non-empty string")
+    if not isinstance(payload["span_id"], int) or payload["span_id"] < 1:
+        problems.append("span_id must be a positive integer")
+    parent = payload["parent_id"]
+    if parent is not None and (not isinstance(parent, int) or parent < 1):
+        problems.append("parent_id must be null or a positive integer")
+    for key in ("start_s", "end_s"):
+        if not isinstance(payload[key], (int, float)):
+            problems.append(f"{key} must be a number")
+    if not problems and payload["end_s"] < payload["start_s"]:
+        problems.append("end_s precedes start_s")
+    if not isinstance(payload["attrs"], dict):
+        problems.append("attrs must be an object")
+    return problems

@@ -21,6 +21,13 @@ the production trial engine the experiment drivers share instead:
 * :mod:`repro.runtime.instrument` -- per-stage wall-clock and trial
   counters, surfaced as a table through
   :func:`repro.experiments.report.runtime_table`.
+
+Telemetry (stage timings, trace spans, metric counters/histograms) is
+scoped to the current :class:`repro.obs.context.ObsContext` rather than
+process globals; worker processes export their context back over the
+pool-result path and the parent merges it, so ``--timings`` and
+``--metrics-out`` stay complete under ``--workers N``. See
+:mod:`repro.obs` for the tracer / metrics / manifest subsystem.
 """
 
 from repro.runtime.cache import (

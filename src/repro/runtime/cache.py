@@ -34,7 +34,7 @@ from repro.core.optimizer import (
     OptimizationResult,
 )
 from repro.core.plan import CarrierPlan
-from repro.runtime.instrument import get_instrumentation
+from repro.obs.context import current_obs
 
 _ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 
@@ -89,17 +89,38 @@ class PlanCache:
         directory: On-disk location for JSON entries, or None for
             memory-only operation.
         enabled: When False every lookup misses and nothing is stored.
-        hits / misses: Lookup counters, for instrumentation and tests.
+        max_entries: Cap on the in-memory layer; storing past it evicts
+            the least-recently-used entry (None = unbounded). Disk entries
+            are never evicted.
+        hits / misses / evictions: Lookup/eviction counters, mirrored into
+            the current observability context's metrics registry
+            (``plan_cache.hits`` / ``.misses`` / ``.evictions``) so cache
+            effectiveness shows up in ``--timings`` and ``--metrics-out``.
     """
 
     def __init__(
-        self, directory: Optional[os.PathLike] = None, enabled: bool = True
+        self,
+        directory: Optional[os.PathLike] = None,
+        enabled: bool = True,
+        max_entries: Optional[int] = None,
     ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.directory = None if directory is None else Path(directory)
         self.enabled = bool(enabled)
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._memory: Dict[str, OptimizationResult] = {}
+
+    def _hit(self) -> None:
+        self.hits += 1
+        current_obs().metrics.counter("plan_cache.hits").inc()
+
+    def _miss(self) -> None:
+        self.misses += 1
+        current_obs().metrics.counter("plan_cache.misses").inc()
 
     def _path(self, key: str) -> Optional[Path]:
         if self.directory is None:
@@ -109,11 +130,14 @@ class PlanCache:
     def lookup(self, key: str) -> Optional[OptimizationResult]:
         """Cached result for ``key``, or None on a miss."""
         if not self.enabled:
-            self.misses += 1
+            self._miss()
             return None
         result = self._memory.get(key)
         if result is not None:
-            self.hits += 1
+            # Re-insertion keeps dict order LRU-ish for eviction.
+            self._memory.pop(key)
+            self._memory[key] = result
+            self._hit()
             return result
         path = self._path(key)
         if path is not None and path.is_file():
@@ -124,17 +148,28 @@ class PlanCache:
                 # A corrupt or stale entry is a miss, not an error.
                 result = None
             if result is not None:
-                self._memory[key] = result
-                self.hits += 1
+                self._remember(key, result)
+                self._hit()
                 return result
-        self.misses += 1
+        self._miss()
         return None
+
+    def _remember(self, key: str, result: OptimizationResult) -> None:
+        """Insert into the memory layer, evicting LRU past ``max_entries``."""
+        self._memory[key] = result
+        while (
+            self.max_entries is not None
+            and len(self._memory) > self.max_entries
+        ):
+            self._memory.pop(next(iter(self._memory)))
+            self.evictions += 1
+            current_obs().metrics.counter("plan_cache.evictions").inc()
 
     def store(self, key: str, result: OptimizationResult) -> None:
         """Record ``result`` under ``key`` in memory and on disk."""
         if not self.enabled:
             return
-        self._memory[key] = result
+        self._remember(key, result)
         path = self._path(key)
         if path is None:
             return
@@ -158,6 +193,7 @@ class PlanCache:
         self._memory.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
 
 def _default_cache() -> PlanCache:
@@ -174,11 +210,15 @@ def get_plan_cache() -> PlanCache:
 
 
 def configure_plan_cache(
-    directory: Optional[os.PathLike] = None, enabled: bool = True
+    directory: Optional[os.PathLike] = None,
+    enabled: bool = True,
+    max_entries: Optional[int] = None,
 ) -> PlanCache:
     """Replace the global cache (e.g. to enable disk storage or disable)."""
     global _GLOBAL
-    _GLOBAL = PlanCache(directory=directory, enabled=enabled)
+    _GLOBAL = PlanCache(
+        directory=directory, enabled=enabled, max_entries=max_entries
+    )
     return _GLOBAL
 
 
@@ -210,10 +250,13 @@ def optimized_plan(
         refine_rounds=refine_rounds,
         refine_steps=tuple(refine_steps),
     )
-    result = cache.lookup(key)
+    obs = current_obs()
+    with obs.tracer.span("plan_cache.lookup", kind="peak", key=key) as span:
+        result = cache.lookup(key)
+        span.attrs["hit"] = result is not None
     if result is not None:
         return result
-    with get_instrumentation().stage("plan_search.peak"):
+    with obs.stage_span("plan_search.peak", kind="peak", key=key):
         optimizer = FrequencyOptimizer(
             n_antennas,
             constraint,
@@ -261,10 +304,15 @@ def optimized_conduction_plan(
         refine_rounds=refine_rounds,
         refine_steps=tuple(refine_steps),
     )
-    result = cache.lookup(key)
+    obs = current_obs()
+    with obs.tracer.span(
+        "plan_cache.lookup", kind="conduction", key=key
+    ) as span:
+        result = cache.lookup(key)
+        span.attrs["hit"] = result is not None
     if result is not None:
         return result
-    with get_instrumentation().stage("plan_search.conduction"):
+    with obs.stage_span("plan_search.conduction", kind="conduction", key=key):
         optimizer = FrequencyOptimizer(
             n_antennas,
             constraint,

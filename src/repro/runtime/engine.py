@@ -49,11 +49,21 @@ from repro.core.plan import CarrierPlan
 from repro.em.channel import BlindChannel
 from repro.em.media import Medium
 from repro.harvester.tag_power import HarvesterFrontEnd
-from repro.runtime.instrument import get_instrumentation
+from repro.obs.context import current_obs
 from repro.sensors.tags import TagSpec
 
 ENGINES = ("auto", "fft", "direct", "scalar")
 """Recognized engine names, in order of preference."""
+
+PEAK_HIST_EDGES = (
+    0.001, 0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 1000.0,
+)
+"""Fixed bucket edges of the ``envelope.peak`` histogram.
+
+Gain-style peaks are relative amplitudes in roughly ``[0, N]`` (N <= 10
+antennas); power-up peaks are field amplitudes scaled by
+``sqrt(60 * EIRP)``, hence the wide geometric span.
+"""
 
 DIRECT_CHUNK_ELEMENTS = 1_000_000
 """Cap on the ``(rows, N, T)`` complex working set of one direct chunk."""
@@ -252,7 +262,10 @@ def measure_gain_chunk(
     scalar loop stores in its :class:`~repro.experiments.common.GainSample`
     list for the same trial indices.
     """
-    instr = get_instrumentation()
+    obs = current_obs()
+    tier = resolve_engine(engine, plan.offsets_array(), duration_s)
+    obs.metrics.counter("trials.processed").inc(count)
+    obs.metrics.counter(f"engine.tier.{tier}").inc()
     n_antennas = plan.n_antennas
     offsets = plan.offsets_array()
     cib = CIBTransmitter(plan)
@@ -267,7 +280,7 @@ def measure_gain_chunk(
     blind_phases = np.empty((count, n_antennas))
     blind_residuals = np.zeros((count, n_antennas))
 
-    with instr.stage("gain_trials.realize", trials=count):
+    with obs.stage_span("gain_trials.realize", trials=count, start=start):
         rngs = spawn_rngs(seed, n_trials)[start : start + count]
         for index, rng in enumerate(rngs):
             channel = channel_factory(rng)
@@ -291,7 +304,7 @@ def measure_gain_chunk(
                         0.0, residual_std, size=n_antennas
                     )
 
-    with instr.stage("gain_trials.evaluate", trials=count):
+    with obs.stage_span("gain_trials.evaluate", trials=count, tier=tier):
         cib_peaks = peak_amplitudes(
             offsets, cib_betas, duration_s, cib_amps, engine
         )
@@ -305,6 +318,9 @@ def measure_gain_chunk(
             )
         else:
             baseline_peaks = reference_peaks
+    obs.metrics.histogram("envelope.peak", PEAK_HIST_EDGES).observe_many(
+        cib_peaks
+    )
 
     cib_gains = (cib_peaks / reference_peaks) ** 2
     baseline_gains = (baseline_peaks / reference_peaks) ** 2
@@ -329,9 +345,12 @@ def power_up_chunk(
     :func:`repro.experiments.common.peak_input_voltage_v` over per-trial
     generators and counting voltages above the tag threshold.
     """
-    instr = get_instrumentation()
+    obs = current_obs()
     if eirp_per_branch_w <= 0:
         raise ValueError("EIRP must be positive")
+    tier = resolve_engine(engine, plan.offsets_array(), 1.0)
+    obs.metrics.counter("trials.processed").inc(count)
+    obs.metrics.counter(f"engine.tier.{tier}").inc()
     threshold = tag_spec.minimum_input_voltage_v()
     n_antennas = plan.n_antennas
     offsets = plan.offsets_array()
@@ -341,7 +360,7 @@ def power_up_chunk(
     betas = np.empty((count, n_antennas))
     amplitudes = np.empty((count, n_antennas))
 
-    with instr.stage("power_up.realize", trials=count):
+    with obs.stage_span("power_up.realize", trials=count, start=start):
         rngs = spawn_rngs(seed, n_trials)[start : start + count]
         for index, rng in enumerate(rngs):
             channel = channel_factory(rng)
@@ -358,8 +377,11 @@ def power_up_chunk(
             )
             amplitudes[index] = field_scale * np.abs(gains) * plan_amps
 
-    with instr.stage("power_up.evaluate", trials=count):
+    with obs.stage_span("power_up.evaluate", trials=count, tier=tier):
         peak_fields = peak_amplitudes(offsets, betas, 1.0, amplitudes, engine)
+    obs.metrics.histogram("envelope.peak", PEAK_HIST_EDGES).observe_many(
+        peak_fields
+    )
 
     front_end = HarvesterFrontEnd(
         antenna=tag_spec.antenna,
@@ -396,13 +418,14 @@ def strategy_gain_chunk(
     gains match :func:`repro.experiments.common.measure_strategy_gains`
     exactly.
     """
-    instr = get_instrumentation()
+    obs = current_obs()
+    obs.metrics.counter("trials.processed").inc(count)
     out = np.empty(count)
     reference_peaks = np.empty(count)
     cib_groups: Dict[tuple, Dict[str, list]] = {}
     blind_groups: Dict[tuple, Dict[str, list]] = {}
 
-    with instr.stage("strategy_gains.realize", trials=count):
+    with obs.stage_span("strategy_gains.realize", trials=count, start=start):
         rngs = spawn_rngs(seed, n_trials)[start : start + count]
         for index, rng in enumerate(rngs):
             channel = channel_factory(rng)
@@ -463,9 +486,12 @@ def strategy_gain_chunk(
                 peak = strategy.peak_amplitude(realization, rng, duration_s)
                 out[index] = (peak / reference) ** 2
 
-    with instr.stage("strategy_gains.evaluate", trials=count):
+    with obs.stage_span("strategy_gains.evaluate", trials=count) as span:
         for group in cib_groups.values():
             idx = np.asarray(group["idx"], dtype=int)
+            tier = resolve_engine(engine, group["offsets"], duration_s)
+            span.attrs["tier"] = tier
+            obs.metrics.counter(f"engine.tier.{tier}").inc()
             peaks = peak_amplitudes(
                 group["offsets"],
                 np.vstack(group["betas"]),
@@ -473,6 +499,9 @@ def strategy_gain_chunk(
                 np.vstack(group["amps"]),
                 engine,
             )
+            obs.metrics.histogram(
+                "envelope.peak", PEAK_HIST_EDGES
+            ).observe_many(peaks)
             out[idx] = (peaks / reference_peaks[idx]) ** 2
         for group in blind_groups.values():
             idx = np.asarray(group["idx"], dtype=int)

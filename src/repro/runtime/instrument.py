@@ -6,12 +6,20 @@ and the benchmark suite read the accumulated statistics back out.
 Formatting as a report table lives in
 :func:`repro.experiments.report.runtime_table` to keep this module free of
 experiment-layer imports.
+
+Instances are owned by an :class:`repro.obs.context.ObsContext`: the
+runtime records into ``current_obs().instrumentation``, worker processes
+export their instance through :meth:`Instrumentation.snapshot` and parents
+fold it back with :meth:`Instrumentation.merge_rows`. The old process-wide
+singleton survives only as the :func:`get_instrumentation` deprecated
+alias, which now resolves to the *current context's* instance so two
+concurrent runs no longer write into the same registry.
 """
 
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 
 @dataclass
@@ -51,11 +59,13 @@ class Instrumentation:
         finally:
             self.add(name, time.perf_counter() - start, trials)
 
-    def add(self, name: str, wall_s: float, trials: int = 0) -> None:
+    def add(
+        self, name: str, wall_s: float, trials: int = 0, calls: int = 1
+    ) -> None:
         """Credit ``wall_s`` seconds and ``trials`` trials to ``name``."""
         stat = self._stats.setdefault(name, StageStat())
         stat.wall_s += wall_s
-        stat.calls += 1
+        stat.calls += calls
         stat.trials += trials
 
     def rows(self) -> List[Tuple[str, float, int, int, float]]:
@@ -69,14 +79,40 @@ class Instrumentation:
         """Sum of wall-clock time across every stage."""
         return sum(stat.wall_s for stat in self._stats.values())
 
+    def snapshot(self) -> List[List]:
+        """Picklable/JSON-safe ``[stage, wall_s, calls, trials]`` rows.
+
+        This is the wire form worker processes ship back over the
+        pool-result path; :meth:`merge_rows` is the inverse.
+        """
+        return [
+            [name, stat.wall_s, stat.calls, stat.trials]
+            for name, stat in sorted(self._stats.items())
+        ]
+
+    def merge_rows(
+        self, rows: Sequence[Tuple[str, float, int, int]]
+    ) -> None:
+        """Fold :meth:`snapshot` rows (e.g. from a worker) into this one."""
+        for name, wall_s, calls, trials in rows:
+            self.add(str(name), float(wall_s), trials=int(trials), calls=int(calls))
+
     def reset(self) -> None:
         """Drop all accumulated statistics."""
         self._stats.clear()
 
 
-_GLOBAL = Instrumentation()
-
-
 def get_instrumentation() -> Instrumentation:
-    """The process-wide instrumentation registry the engine reports into."""
-    return _GLOBAL
+    """The current observability context's instrumentation registry.
+
+    .. deprecated::
+        Kept as a thin alias for existing callers and benchmarks. New code
+        should take the registry from
+        ``repro.obs.context.current_obs().instrumentation`` (or accept an
+        injected instance) instead of reaching for a global. Outside any
+        ``obs_context`` scope this still behaves like the historical
+        process-wide singleton, backed by the process-default context.
+    """
+    from repro.obs.context import current_obs
+
+    return current_obs().instrumentation

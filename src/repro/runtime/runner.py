@@ -12,6 +12,14 @@ executes them. The runner only has to keep the spans contiguous and
 concatenate results in span order -- which makes outputs bit-identical for
 any ``workers`` / ``chunk_size`` combination.
 
+Observability rides the same result path. Each pool chunk runs inside a
+fresh :class:`~repro.obs.context.ObsContext` in the worker; the wrapper
+ships ``(result, exported telemetry)`` back and the parent folds stage
+timings, metrics and spans into its own context. That is what makes
+``--timings`` and ``--metrics-out`` complete under ``--workers N`` instead
+of silently dropping everything the hot stages did in child processes.
+In-process chunks simply record into the ambient context.
+
 Chunk functions must be picklable for ``workers > 1`` (module-level
 functions bound with :func:`functools.partial`, dataclass factories). A
 non-picklable function degrades to the in-process path with a warning
@@ -20,9 +28,48 @@ rather than failing the experiment.
 
 import math
 import pickle
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Tuple
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.context import ObsContext, current_obs, obs_context
+
+CHUNK_WALL_HIST_EDGES = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+"""Fixed bucket edges (seconds) of the ``runner.chunk_wall_s`` histogram."""
+
+
+def _run_chunk(
+    fn: Callable[[int, int], Any], start: int, count: int, obs: ObsContext
+) -> Any:
+    """Run one chunk under ``obs`` with a span + chunk-wall metrics."""
+    began = time.perf_counter()
+    with obs.tracer.span("runner.chunk", start=start, count=count):
+        result = fn(start, count)
+    wall_s = time.perf_counter() - began
+    obs.metrics.counter("runner.chunks").inc()
+    obs.metrics.histogram(
+        "runner.chunk_wall_s", CHUNK_WALL_HIST_EDGES
+    ).observe(wall_s)
+    return result
+
+
+def _pool_chunk(
+    fn: Callable[[int, int], Any], start: int, count: int
+) -> Tuple[Any, Dict[str, Any]]:
+    """Worker-process entry: run the chunk in a fresh observability context.
+
+    Returns ``(chunk result, ObsContext.export_state() payload)`` so the
+    parent can merge the worker's stage stats, metrics and spans. A fresh
+    context (rather than whatever the fork inherited) keeps worker
+    telemetry isolated and double-count-free.
+    """
+    with obs_context() as obs:
+        result = _run_chunk(fn, start, count, obs)
+    return result, obs.export_state()
 
 
 class TrialRunner:
@@ -57,8 +104,11 @@ class TrialRunner:
     ) -> List[Any]:
         """Apply ``fn(start, count)`` to every span, results in span order."""
         spans = self.spans(n_trials)
+        obs = current_obs()
         if self.workers == 1 or len(spans) == 1:
-            return [fn(start, count) for start, count in spans]
+            return [
+                _run_chunk(fn, start, count, obs) for start, count in spans
+            ]
         try:
             pickle.dumps(fn)
         except Exception:  # pickle raises several unrelated types
@@ -68,8 +118,24 @@ class TrialRunner:
                 RuntimeWarning,
                 stacklevel=2,
             )
-            return [fn(start, count) for start, count in spans]
+            return [
+                _run_chunk(fn, start, count, obs) for start, count in spans
+            ]
         max_workers = min(self.workers, len(spans))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = [pool.submit(fn, start, count) for start, count in spans]
-            return [future.result() for future in futures]
+        wrapped = partial(_pool_chunk, fn)
+        with obs.tracer.span(
+            "runner.pool", workers=max_workers, chunks=len(spans)
+        ):
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = [
+                    pool.submit(wrapped, start, count)
+                    for start, count in spans
+                ]
+                results = []
+                for future, (start, _) in zip(futures, spans):
+                    result, telemetry = future.result()
+                    obs.absorb_state(
+                        telemetry, extra_attrs={"subprocess": True}
+                    )
+                    results.append(result)
+        return results

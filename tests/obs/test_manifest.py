@@ -1,0 +1,92 @@
+"""Tests for run-manifest construction, validation and round-trip."""
+
+from dataclasses import dataclass
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    read_manifest,
+    run_record,
+    seed_entropy,
+    validate_manifest,
+    write_manifest,
+)
+
+
+@dataclass(frozen=True)
+class _FakeConfig:
+    n_trials: int = 15
+    seed: int = 9
+    engine: str = "auto"
+
+
+class TestRunRecord:
+    def test_dataclass_config_is_dumped(self):
+        record = run_record("fig09", config=_FakeConfig(), elapsed_s=1.25)
+        assert record["experiment"] == "fig09"
+        assert record["config"] == {
+            "n_trials": 15,
+            "seed": 9,
+            "engine": "auto",
+        }
+        assert record["seed"] == 9
+        assert record["seed_entropy"] == seed_entropy(9)
+        assert record["elapsed_s"] == 1.25
+
+    def test_seed_falls_back_to_config_attribute(self):
+        assert run_record("x", config=_FakeConfig(seed=3))["seed"] == 3
+
+    def test_configless_run(self):
+        record = run_record("constraints")
+        assert record["config"] is None
+        assert record["seed"] is None
+        assert record["seed_entropy"] is None
+
+
+class TestBuildManifest:
+    def _manifest(self, metrics=None):
+        return build_manifest(
+            [run_record("fig09", config=_FakeConfig(), elapsed_s=0.5)],
+            workers=2,
+            command=["python", "-m", "repro.experiments", "fig09"],
+            metrics=metrics or {},
+            trace_path="t.jsonl",
+        )
+
+    def test_valid_by_construction(self):
+        manifest = self._manifest()
+        assert validate_manifest(manifest) == []
+        assert manifest["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert manifest["experiment"] == "fig09"
+        assert manifest["workers"] == 2
+        assert manifest["trace_path"] == "t.jsonl"
+        assert manifest["environment"]["python"]
+
+    def test_engine_tiers_lifted_from_metrics(self):
+        manifest = self._manifest(
+            metrics={"counters": {"engine.tier.fft": 20, "trials.processed": 1}}
+        )
+        assert manifest["engine_tiers"] == ["fft"]
+
+    def test_round_trip_through_disk(self, tmp_path):
+        manifest = self._manifest()
+        path = tmp_path / "run.json"
+        write_manifest(path, manifest)
+        assert read_manifest(path) == manifest
+
+    def test_validation_catches_missing_keys(self):
+        manifest = self._manifest()
+        del manifest["environment"]
+        assert any("environment" in p for p in validate_manifest(manifest))
+
+    def test_validation_catches_empty_runs(self):
+        manifest = self._manifest()
+        manifest["runs"] = []
+        assert any("runs" in p for p in validate_manifest(manifest))
+
+    def test_validation_catches_bad_run_entries(self):
+        manifest = self._manifest()
+        manifest["runs"] = [{"experiment": "fig09"}]
+        problems = validate_manifest(manifest)
+        assert any("seed" in p for p in problems)
+        assert any("config" in p for p in problems)

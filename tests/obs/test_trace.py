@@ -1,0 +1,148 @@
+"""Unit tests for span tracing: nesting, export, merging, validation."""
+
+import pytest
+
+from repro.obs.trace import Span, Tracer, read_jsonl, validate_span_dict
+
+
+class TestSpanNesting:
+    def test_parent_links_follow_the_stack(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+            with tracer.span("sibling") as sibling:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert sibling.parent_id == outer.span_id
+        assert inner.span_id != sibling.span_id
+
+    def test_spans_record_in_completion_order(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [span.name for span in tracer.spans] == ["inner", "outer"]
+
+    def test_timestamps_are_monotonic_and_positive(self):
+        tracer = Tracer()
+        with tracer.span("timed"):
+            pass
+        span = tracer.spans[0]
+        assert span.end_s >= span.start_s
+        assert span.duration_s >= 0.0
+
+    def test_attrs_can_be_attached_inside_the_block(self):
+        tracer = Tracer()
+        with tracer.span("lookup", kind="peak") as span:
+            span.attrs["hit"] = True
+        recorded = tracer.spans[0]
+        assert recorded.attrs == {"kind": "peak", "hit": True}
+
+    def test_exception_is_recorded_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("broken"):
+                raise RuntimeError("boom")
+        span = tracer.spans[0]
+        assert span.attrs["error"] == "RuntimeError"
+        assert span.end_s >= span.start_s
+
+
+class TestJsonlRoundTrip:
+    def test_write_then_read_preserves_spans(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", depth=1):
+            with tracer.span("inner", tier="fft"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        loaded = read_jsonl(path)
+        assert len(loaded) == 2
+        assert [Span.from_dict(d).to_dict() for d in loaded] == loaded
+        by_name = {d["name"]: d for d in loaded}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["inner"]["attrs"] == {"tier": "fft"}
+
+    def test_every_line_passes_schema_validation(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        for payload in read_jsonl(path):
+            assert validate_span_dict(payload) == []
+
+
+class TestAbsorb:
+    def test_worker_spans_are_remapped_without_collisions(self):
+        parent = Tracer()
+        with parent.span("parent.work"):
+            pass
+        worker = Tracer()
+        with worker.span("chunk"):
+            with worker.span("evaluate"):
+                pass
+        parent.absorb(worker.to_dicts(), extra_attrs={"subprocess": True})
+        ids = [span.span_id for span in parent.spans]
+        assert len(ids) == len(set(ids))
+        absorbed = {s.name: s for s in parent.spans if s.name != "parent.work"}
+        assert absorbed["evaluate"].parent_id == absorbed["chunk"].span_id
+        assert absorbed["chunk"].parent_id is None
+        assert all(s.attrs["subprocess"] for s in absorbed.values())
+
+    def test_new_spans_after_absorb_stay_unique(self):
+        parent = Tracer()
+        worker = Tracer()
+        with worker.span("w"):
+            pass
+        parent.absorb(worker.to_dicts())
+        with parent.span("later"):
+            pass
+        ids = [span.span_id for span in parent.spans]
+        assert len(ids) == len(set(ids))
+
+
+class TestRetentionCap:
+    def test_drops_are_counted_not_silent(self):
+        tracer = Tracer(max_spans=2)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+
+class TestValidation:
+    def test_missing_key_reported(self):
+        problems = validate_span_dict({"name": "x"})
+        assert any("span_id" in p for p in problems)
+
+    def test_bad_types_reported(self):
+        payload = {
+            "name": "",
+            "span_id": 0,
+            "parent_id": -1,
+            "start_s": "no",
+            "end_s": 0.0,
+            "attrs": [],
+        }
+        problems = validate_span_dict(payload)
+        assert len(problems) >= 4
+
+    def test_end_before_start_reported(self):
+        payload = {
+            "name": "x",
+            "span_id": 1,
+            "parent_id": None,
+            "start_s": 2.0,
+            "end_s": 1.0,
+            "attrs": {},
+        }
+        assert any("precedes" in p for p in validate_span_dict(payload))

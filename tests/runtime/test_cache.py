@@ -69,6 +69,49 @@ class TestPlanCache:
         assert first is not second
         assert first.plan == second.plan  # same seed, fresh optimizers
 
+    def test_lru_eviction_counts_and_caps_memory(self):
+        cache = PlanCache(max_entries=2)
+        for antennas in (3, 4, 5):
+            optimized_plan(
+                antennas,
+                n_draws=8,
+                n_candidates=4,
+                refine_rounds=0,
+                cache=cache,
+            )
+        assert cache.evictions == 1
+        assert len(cache._memory) == 2
+        # The oldest entry (3 antennas) was evicted -> recomputing misses.
+        optimized_plan(
+            3, n_draws=8, n_candidates=4, refine_rounds=0, cache=cache
+        )
+        assert cache.misses == 4
+
+    def test_lookup_refreshes_lru_order(self):
+        cache = PlanCache(max_entries=2)
+        first = optimized_plan(
+            3, n_draws=8, n_candidates=4, refine_rounds=0, cache=cache
+        )
+        optimized_plan(
+            4, n_draws=8, n_candidates=4, refine_rounds=0, cache=cache
+        )
+        # Touch the older entry, then insert a third: 4 is now the LRU.
+        optimized_plan(
+            3, n_draws=8, n_candidates=4, refine_rounds=0, cache=cache
+        )
+        optimized_plan(
+            5, n_draws=8, n_candidates=4, refine_rounds=0, cache=cache
+        )
+        again = optimized_plan(
+            3, n_draws=8, n_candidates=4, refine_rounds=0, cache=cache
+        )
+        assert again is first
+        assert cache.evictions == 1
+
+    def test_invalid_max_entries_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+
     def test_cached_result_matches_direct_search(self):
         cache = PlanCache()
         cached = optimized_plan(

@@ -46,6 +46,38 @@ class TestInstrumentation:
     def test_global_registry_is_shared(self):
         assert get_instrumentation() is get_instrumentation()
 
+    def test_snapshot_merge_round_trip(self):
+        worker = Instrumentation()
+        worker.add("evaluate", 0.5, trials=10)
+        worker.add("evaluate", 0.25, trials=5)
+        worker.add("realize", 0.1, trials=15)
+        parent = Instrumentation()
+        parent.add("evaluate", 1.0, trials=20)
+        parent.merge_rows(worker.snapshot())
+        rows = {row[0]: row for row in parent.rows()}
+        assert rows["evaluate"][1] == 1.75  # wall
+        assert rows["evaluate"][2] == 3  # calls
+        assert rows["evaluate"][3] == 35  # trials
+        assert rows["realize"][3] == 15
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        instr = Instrumentation()
+        instr.add("a", 0.5, trials=3)
+        assert json.loads(json.dumps(instr.snapshot())) == [
+            ["a", 0.5, 1, 3]
+        ]
+
+    def test_alias_follows_obs_context(self):
+        from repro.obs.context import obs_context
+
+        outside = get_instrumentation()
+        with obs_context() as obs:
+            assert get_instrumentation() is obs.instrumentation
+            assert get_instrumentation() is not outside
+        assert get_instrumentation() is outside
+
     def test_runtime_table_renders(self):
         instr = Instrumentation()
         instr.add("gain_trials.evaluate", 0.25, trials=100)
