@@ -29,6 +29,13 @@ def _engine_trials() -> int:
     return sum(row[3] for row in get_instrumentation().rows())
 
 
+def _search_candidates() -> int:
+    """Total candidate sets the frequency-search pipeline has scored."""
+    from repro.obs.context import current_obs
+
+    return int(current_obs().metrics.counter("search.candidates_scored").value)
+
+
 def run_once(benchmark, fn):
     """Execute ``fn`` exactly once under the benchmark timer.
 
@@ -37,10 +44,12 @@ def run_once(benchmark, fn):
     suite fast.
     """
     trials_before = _engine_trials()
+    candidates_before = _search_candidates()
     start = time.perf_counter()
     result = benchmark.pedantic(fn, iterations=1, rounds=1)
     wall_s = time.perf_counter() - start
     trials = _engine_trials() - trials_before
+    candidates = _search_candidates() - candidates_before
     _RUNTIME_ROWS.append(
         {
             "bench": benchmark.name,
@@ -48,6 +57,12 @@ def run_once(benchmark, fn):
             "engine_trials": trials,
             "trials_per_s": (
                 round(trials / wall_s, 1) if wall_s > 0 and trials else 0.0
+            ),
+            "search_candidates": candidates,
+            "search_candidates_per_s": (
+                round(candidates / wall_s, 1)
+                if wall_s > 0 and candidates
+                else 0.0
             ),
         }
     )

@@ -205,7 +205,11 @@ def plan_quality(config: AblationConfig = AblationConfig()) -> Table:
     # one instance would couple the ranking draws to whether the optimize()
     # call was a cache hit.
     optimized = optimized_plan(
-        10, seed=config.seed, n_candidates=60, refine_rounds=1
+        10,
+        seed=config.seed,
+        n_candidates=60,
+        refine_rounds=1,
+        workers=config.workers,
     )
     ranker = FrequencyOptimizer(10, n_draws=48, seed=config.seed)
     (best_random, best_value), (worst_random, worst_value) = (

@@ -15,9 +15,12 @@ Usage::
 Each experiment prints the table(s) the corresponding paper figure shows.
 Monte-Carlo experiments run on the batched :mod:`repro.runtime` engine;
 ``--workers`` fans trial chunks across processes (results are bit-identical
-for any worker count), ``--timings`` prints the per-stage runtime table
-(worker-process stages are merged back into it) plus plan-cache hit/miss
-counts, and ``--no-plan-cache`` disables the frequency-search cache.
+for any worker count), ``--search-islands N`` runs every frequency search
+as N independent islands merged deterministically (fanned across the same
+workers; the island count is part of the plan-cache key), ``--timings``
+prints the per-stage runtime table (worker-process stages are merged back
+into it) plus plan-cache hit/miss counts, and ``--no-plan-cache`` disables
+the frequency-search cache.
 
 Every invocation runs inside its own observability scope
 (:func:`repro.obs.obs_context`): ``--trace-out`` writes the span tree as
@@ -164,6 +167,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "results are identical for any value)",
     )
     parser.add_argument(
+        "--search-islands",
+        type=int,
+        default=1,
+        metavar="N",
+        help="independent islands per frequency search (default 1); islands "
+        "are fanned across --workers processes and merged deterministically",
+    )
+    parser.add_argument(
         "--timings",
         action="store_true",
         help="print the per-stage runtime table (worker-process stages are "
@@ -283,10 +294,16 @@ def main(argv=None) -> int:
 
     if args.workers < 1:
         parser.error("--workers must be >= 1")
+    if args.search_islands < 1:
+        parser.error("--search-islands must be >= 1")
     if args.no_plan_cache:
         from repro.runtime import configure_plan_cache
 
         configure_plan_cache(enabled=False)
+    if args.search_islands > 1 or args.workers > 1:
+        from repro.runtime import configure_search
+
+        configure_search(islands=args.search_islands, workers=args.workers)
 
     from repro.obs import build_manifest, obs_context, run_record, write_manifest
 

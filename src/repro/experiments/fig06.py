@@ -121,15 +121,18 @@ def run(config: Fig06Config = Fig06Config()) -> Fig06Result:
     )
     pool_rng = np.random.default_rng(config.seed + 17)
     pool = [
-        optimizer.random_candidate() for _ in range(config.n_random_sets)
+        tuple(int(v) for v in row)
+        for row in optimizer.random_candidates(config.n_random_sets)
     ] + _structured_candidates(
         config.n_antennas, pool_rng, max(4, config.n_random_sets // 3)
     )
-    scored = sorted(
-        ((candidate, optimizer.objective(candidate)) for candidate in pool),
-        key=lambda item: item[1],
-    )
-    (worst_offsets, _), (best_offsets, _) = scored[0], scored[-1]
+    # One stacked scoring pass over the whole pool (values are identical
+    # to per-candidate objective() calls); stable argsort mirrors the old
+    # sorted()-by-value tie behavior.
+    values = optimizer.score_candidates(pool)
+    order = np.argsort(values, kind="stable")
+    worst_offsets = pool[int(order[0])]
+    best_offsets = pool[int(order[-1])]
     rng = np.random.default_rng(config.seed + 1)
     best_gains = _gain_distribution(best_offsets, config.n_channel_draws, rng)
     worst_gains = _gain_distribution(worst_offsets, config.n_channel_draws, rng)

@@ -17,6 +17,7 @@ import numpy as np
 from repro.analysis.mc import spawn_rngs
 from repro.constants import TANK_STANDOFF_RANGE_M
 from repro.core import waveform
+from repro.core.optimizer import envelope_series_fft
 from repro.core.plan import paper_plan
 from repro.em.media import WATER
 from repro.em.phantoms import WaterTankPhantom
@@ -81,6 +82,31 @@ class WakeupResult:
         raise KeyError(f"depth {depth_m} not in the sweep")
 
 
+def _field_envelope(
+    offsets_hz: np.ndarray,
+    betas: np.ndarray,
+    n_samples: int,
+    dt: float,
+    amplitudes: np.ndarray,
+) -> np.ndarray:
+    """Multi-period field envelope, via the sparse-spectrum FFT when exact.
+
+    With integer offsets and a whole number of periods, every carrier
+    lands on an integer bin of the ``n_samples``-point grid, so the
+    envelope is one inverse FFT instead of an (N x samples) direct
+    evaluation -- the hot path of this experiment. Offsets that miss the
+    bin grid fall back to the direct evaluation.
+    """
+    duration_s = n_samples * dt
+    try:
+        return envelope_series_fft(
+            offsets_hz, betas, n_samples, duration_s, amplitudes
+        )[0]
+    except ValueError:
+        t = np.arange(n_samples) * dt
+        return waveform.envelope(offsets_hz, betas, t, amplitudes)
+
+
 def _trial_latency(
     config: WakeupConfig,
     depth_m: float,
@@ -103,8 +129,10 @@ def _trial_latency(
         spec, tuple(int(b) for b in rng.integers(0, 2, 96)), rng
     )
     dt = 1.0 / config.envelope_rate_hz
-    t = np.arange(int(config.max_periods * config.envelope_rate_hz)) * dt
-    field_envelope = waveform.envelope(plan.offsets_array(), betas, t, amplitudes)
+    n_samples = int(config.max_periods * config.envelope_rate_hz)
+    field_envelope = _field_envelope(
+        plan.offsets_array(), betas, n_samples, dt, amplitudes
+    )
     # Field -> rectifier input voltage, via the medium-aware front end.
     scale = sensor.input_voltage_from_field(1.0, WATER, plan.center_frequency_hz)
     voltage_envelope = scale * field_envelope

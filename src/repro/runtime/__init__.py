@@ -33,7 +33,9 @@ pool-result path and the parent merges it, so ``--timings`` and
 from repro.runtime.cache import (
     PlanCache,
     configure_plan_cache,
+    configure_search,
     get_plan_cache,
+    get_search_defaults,
     optimized_conduction_plan,
     optimized_plan,
 )
@@ -52,9 +54,11 @@ __all__ = [
     "PlanCache",
     "TrialRunner",
     "configure_plan_cache",
+    "configure_search",
     "fft_compatible",
     "get_instrumentation",
     "get_plan_cache",
+    "get_search_defaults",
     "optimized_conduction_plan",
     "optimized_plan",
     "peak_amplitudes",

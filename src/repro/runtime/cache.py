@@ -30,6 +30,7 @@ from repro.constants import CIB_CENTER_FREQUENCY_HZ
 from repro.core.constraints import FlatnessConstraint
 from repro.core.optimizer import (
     DEFAULT_GRID_SIZE,
+    SEARCH_REV,
     FrequencyOptimizer,
     OptimizationResult,
 )
@@ -37,6 +38,36 @@ from repro.core.plan import CarrierPlan
 from repro.obs.context import current_obs
 
 _ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+_SEARCH_DEFAULTS = {"islands": 1, "workers": 1}
+
+
+def configure_search(
+    islands: Optional[int] = None, workers: Optional[int] = None
+) -> Dict[str, int]:
+    """Set process-wide defaults for the frequency-search pipeline.
+
+    ``islands`` is the number of independent search islands the cached
+    helpers run per search (part of the cache key -- different island
+    counts explore different candidate streams and may select different
+    plans); ``workers`` is how many processes island searches may fan out
+    across (*not* part of the key: results are bit-identical for any
+    worker count). The CLI's ``--search-islands`` flag lands here.
+    """
+    if islands is not None:
+        if islands < 1:
+            raise ValueError(f"islands must be >= 1, got {islands}")
+        _SEARCH_DEFAULTS["islands"] = int(islands)
+    if workers is not None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        _SEARCH_DEFAULTS["workers"] = int(workers)
+    return dict(_SEARCH_DEFAULTS)
+
+
+def get_search_defaults() -> Dict[str, int]:
+    """Current process-wide search defaults (islands, workers)."""
+    return dict(_SEARCH_DEFAULTS)
 
 
 def _result_to_json(result: OptimizationResult) -> dict:
@@ -233,10 +264,20 @@ def optimized_plan(
     refine_rounds: int = 2,
     refine_steps: Tuple[int, ...] = (1, 2, 5, 10, 20),
     cache: Optional[PlanCache] = None,
+    islands: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> OptimizationResult:
-    """Cached equivalent of ``FrequencyOptimizer(...).optimize(...)``."""
+    """Cached equivalent of ``FrequencyOptimizer(...).optimize(...)``.
+
+    ``islands`` / ``workers`` default to :func:`configure_search` settings;
+    the island count is part of the cache key (it changes which candidate
+    streams are explored) while the worker count is not (results are
+    bit-identical for any fan-out).
+    """
     constraint = constraint if constraint is not None else FlatnessConstraint()
     cache = cache if cache is not None else get_plan_cache()
+    islands = _SEARCH_DEFAULTS["islands"] if islands is None else islands
+    workers = _SEARCH_DEFAULTS["workers"] if workers is None else workers
     key = plan_key(
         kind="peak",
         n_antennas=n_antennas,
@@ -249,6 +290,8 @@ def optimized_plan(
         n_candidates=n_candidates,
         refine_rounds=refine_rounds,
         refine_steps=tuple(refine_steps),
+        islands=islands,
+        search_rev=SEARCH_REV,
     )
     obs = current_obs()
     with obs.tracer.span("plan_cache.lookup", kind="peak", key=key) as span:
@@ -269,6 +312,8 @@ def optimized_plan(
             n_candidates=n_candidates,
             refine_rounds=refine_rounds,
             refine_steps=tuple(refine_steps),
+            islands=islands,
+            workers=workers,
         )
     cache.store(key, result)
     return result
@@ -286,10 +331,14 @@ def optimized_conduction_plan(
     refine_rounds: int = 1,
     refine_steps: Tuple[int, ...] = (1, 2, 5, 10, 20),
     cache: Optional[PlanCache] = None,
+    islands: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> OptimizationResult:
     """Cached ``FrequencyOptimizer(...).optimize_conduction(threshold, ...)``."""
     constraint = constraint if constraint is not None else FlatnessConstraint()
     cache = cache if cache is not None else get_plan_cache()
+    islands = _SEARCH_DEFAULTS["islands"] if islands is None else islands
+    workers = _SEARCH_DEFAULTS["workers"] if workers is None else workers
     key = plan_key(
         kind="conduction",
         n_antennas=n_antennas,
@@ -303,6 +352,8 @@ def optimized_conduction_plan(
         n_candidates=n_candidates,
         refine_rounds=refine_rounds,
         refine_steps=tuple(refine_steps),
+        islands=islands,
+        search_rev=SEARCH_REV,
     )
     obs = current_obs()
     with obs.tracer.span(
@@ -326,6 +377,8 @@ def optimized_conduction_plan(
             n_candidates=n_candidates,
             refine_rounds=refine_rounds,
             refine_steps=tuple(refine_steps),
+            islands=islands,
+            workers=workers,
         )
     cache.store(key, result)
     return result

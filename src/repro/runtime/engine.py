@@ -44,7 +44,7 @@ from repro.core.baselines import (
     CIBTransmitter,
     TransmitterStrategy,
 )
-from repro.core.optimizer import peak_amplitudes_fft
+from repro.core.optimizer import peak_amplitudes_fft, validate_offset_bins
 from repro.core.plan import CarrierPlan
 from repro.em.channel import BlindChannel
 from repro.em.media import Medium
@@ -86,21 +86,20 @@ def fft_compatible(
 
     Requires every ``offset * duration`` to be a distinct non-negative
     integer below half the capture grid size, so each carrier lands on its
-    own DFT bin.
+    own DFT bin -- the same rule the optimizer's shared sparse-spectrum
+    builder enforces, so the decision is delegated to its validator.
     """
     if duration_s <= 0:
         return False
     offsets = np.asarray(offsets_hz, dtype=float)
     if offsets.ndim != 1 or offsets.size == 0:
         return False
-    bins = offsets * duration_s
-    if np.any(bins != np.round(bins)):
-        return False
-    bins_int = np.round(bins).astype(int)
-    if np.any(bins_int < 0) or np.unique(bins_int).size != bins_int.size:
-        return False
     grid = waveform.time_grid(offsets, duration_s, oversample).size
-    return bool(np.all(bins_int < grid // 2))
+    try:
+        validate_offset_bins(offsets, grid, duration_s)
+    except ValueError:
+        return False
+    return True
 
 
 def resolve_engine(

@@ -43,11 +43,15 @@ CHUNK_WALL_HIST_EDGES = (
 
 
 def _run_chunk(
-    fn: Callable[[int, int], Any], start: int, count: int, obs: ObsContext
+    fn: Callable[[int, int], Any],
+    start: int,
+    count: int,
+    obs: ObsContext,
+    label: str = "runner.chunk",
 ) -> Any:
     """Run one chunk under ``obs`` with a span + chunk-wall metrics."""
     began = time.perf_counter()
-    with obs.tracer.span("runner.chunk", start=start, count=count):
+    with obs.tracer.span(label, start=start, count=count):
         result = fn(start, count)
     wall_s = time.perf_counter() - began
     obs.metrics.counter("runner.chunks").inc()
@@ -58,7 +62,10 @@ def _run_chunk(
 
 
 def _pool_chunk(
-    fn: Callable[[int, int], Any], start: int, count: int
+    fn: Callable[[int, int], Any],
+    label: str,
+    start: int,
+    count: int,
 ) -> Tuple[Any, Dict[str, Any]]:
     """Worker-process entry: run the chunk in a fresh observability context.
 
@@ -68,7 +75,7 @@ def _pool_chunk(
     telemetry isolated and double-count-free.
     """
     with obs_context() as obs:
-        result = _run_chunk(fn, start, count, obs)
+        result = _run_chunk(fn, start, count, obs, label)
     return result, obs.export_state()
 
 
@@ -100,14 +107,23 @@ class TrialRunner:
         ]
 
     def map_chunks(
-        self, fn: Callable[[int, int], Any], n_trials: int
+        self,
+        fn: Callable[[int, int], Any],
+        n_trials: int,
+        label: str = "runner.chunk",
     ) -> List[Any]:
-        """Apply ``fn(start, count)`` to every span, results in span order."""
+        """Apply ``fn(start, count)`` to every span, results in span order.
+
+        ``label`` names each chunk's trace span, so non-trial workloads
+        dispatched through the runner (e.g. frequency-search islands) stay
+        distinguishable from Monte-Carlo chunks in ``--trace-out`` output.
+        """
         spans = self.spans(n_trials)
         obs = current_obs()
         if self.workers == 1 or len(spans) == 1:
             return [
-                _run_chunk(fn, start, count, obs) for start, count in spans
+                _run_chunk(fn, start, count, obs, label)
+                for start, count in spans
             ]
         try:
             pickle.dumps(fn)
@@ -119,10 +135,11 @@ class TrialRunner:
                 stacklevel=2,
             )
             return [
-                _run_chunk(fn, start, count, obs) for start, count in spans
+                _run_chunk(fn, start, count, obs, label)
+                for start, count in spans
             ]
         max_workers = min(self.workers, len(spans))
-        wrapped = partial(_pool_chunk, fn)
+        wrapped = partial(_pool_chunk, fn, label)
         with obs.tracer.span(
             "runner.pool", workers=max_workers, chunks=len(spans)
         ):

@@ -7,6 +7,8 @@ import pytest
 from repro.core.optimizer import FrequencyOptimizer
 from repro.runtime.cache import (
     PlanCache,
+    configure_search,
+    get_search_defaults,
     optimized_conduction_plan,
     optimized_plan,
     plan_key,
@@ -22,6 +24,58 @@ class TestPlanKey:
         assert plan_key(kind="peak", seed=1, n_candidates=10) != base
         assert plan_key(kind="peak", seed=0, n_candidates=11) != base
         assert plan_key(kind="conduction", seed=0, n_candidates=10) != base
+
+
+class TestSearchDefaults:
+    def test_configure_and_read_back(self):
+        before = get_search_defaults()
+        try:
+            assert configure_search(islands=2, workers=3) == {
+                "islands": 2,
+                "workers": 3,
+            }
+            assert get_search_defaults() == {"islands": 2, "workers": 3}
+        finally:
+            configure_search(
+                islands=before["islands"], workers=before["workers"]
+            )
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            configure_search(islands=0)
+        with pytest.raises(ValueError):
+            configure_search(workers=0)
+
+    def test_island_count_is_part_of_the_key(self):
+        cache = PlanCache()
+        optimized_plan(
+            3, n_draws=8, n_candidates=4, refine_rounds=0, cache=cache
+        )
+        optimized_plan(
+            3,
+            n_draws=8,
+            n_candidates=4,
+            refine_rounds=0,
+            cache=cache,
+            islands=2,
+        )
+        assert cache.misses == 2
+
+    def test_worker_count_is_not_part_of_the_key(self):
+        cache = PlanCache()
+        one = optimized_plan(
+            3, n_draws=8, n_candidates=4, refine_rounds=0, cache=cache
+        )
+        two = optimized_plan(
+            3,
+            n_draws=8,
+            n_candidates=4,
+            refine_rounds=0,
+            cache=cache,
+            workers=2,
+        )
+        assert cache.hits == 1
+        assert two is one
 
 
 class TestPlanCache:
