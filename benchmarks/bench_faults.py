@@ -1,0 +1,30 @@
+"""Bench: degradation campaigns -- fault severity sweeps over the runtime.
+
+Extension (no paper figure): regenerates the four ``repro.faults``
+degradation tables and checks the headline physics -- the exact N-1 law
+for antenna dropout, CIB's flatness under PLL relock jumps, and the
+monotone detuning/corruption curves -- while the harness records the
+campaign's trial throughput alongside the paper figures.
+"""
+
+from repro.experiments import degradation
+from conftest import run_once
+
+
+def test_degradation_campaigns(benchmark, emit):
+    config = degradation.DegradationConfig.fast()
+    result = run_once(benchmark, lambda: degradation.run(config))
+    for table in result.tables():
+        emit(table)
+    # N-1 law: losing k of N aligned unit branches is exactly (N-k)/N.
+    n = config.n_antennas
+    for k, relative in zip(config.dropout_counts, result.dropout.relative()):
+        assert abs(relative - (n - k) / n) < 1e-6
+    # Blind CIB's peak distribution is invariant under relock phase jumps.
+    for relative in result.relock.relative():
+        assert abs(relative - 1.0) < 0.05
+    # Detuning and corruption degrade monotonically from a healthy baseline.
+    detuning = (result.detuning.baseline,) + result.detuning.values
+    assert all(b <= a for a, b in zip(detuning, detuning[1:]))
+    assert result.corruption.baseline == 1.0
+    assert result.corruption.values[-1] < result.corruption.baseline

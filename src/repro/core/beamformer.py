@@ -8,7 +8,7 @@ waveform a sensor actually sees.
 """
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -16,6 +16,9 @@ from repro.core.plan import CarrierPlan
 from repro.core.constraints import FlatnessConstraint, validate_plan
 from repro.em.channel import ChannelRealization
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.inject import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -107,6 +110,8 @@ class CIBBeamformer:
         rng: np.random.Generator,
         start_time_s: float = 0.0,
         timing_offsets_s: Optional[np.ndarray] = None,
+        faults: Optional["FaultInjector"] = None,
+        trial_index: int = 0,
     ) -> TransmitFrame:
         """Unmodulated carrier streams (continuous-wave power delivery).
 
@@ -117,12 +122,24 @@ class CIBBeamformer:
                 phase consistent across frames).
             timing_offsets_s: Optional per-antenna trigger error from
                 imperfect synchronization (seconds).
+            faults: Optional fault injector; its carrier-plane faults
+                (dropout, relock jumps, holdover drift, desync phase)
+                perturb the offsets/phases/amplitudes after the normal
+                phase draw, so an inactive injector is bit-identical.
+            trial_index: Absolute trial index keying the fault streams.
         """
         if n_samples <= 0:
             raise ValueError(f"n_samples must be positive, got {n_samples}")
         offsets = self.plan.offsets_array()
         amplitudes = self.plan.amplitudes_array()
         phases = rng.uniform(0.0, 2.0 * np.pi, size=self.n_antennas)
+        if faults is not None and faults.active:
+            perturbed = faults.perturb_trial(
+                trial_index, offsets, phases, amplitudes
+            )
+            offsets = perturbed.offsets_hz
+            phases = perturbed.betas
+            amplitudes = perturbed.amplitudes
         t = start_time_s + np.arange(n_samples) / self.sample_rate_hz
         if timing_offsets_s is not None:
             timing = np.asarray(timing_offsets_s, dtype=float)
@@ -148,6 +165,8 @@ class CIBBeamformer:
         rng: np.random.Generator,
         start_time_s: float = 0.0,
         timing_offsets_s: Optional[np.ndarray] = None,
+        faults: Optional["FaultInjector"] = None,
+        trial_index: int = 0,
     ) -> TransmitFrame:
         """Command-modulated streams: identical envelope on every carrier.
 
@@ -158,14 +177,20 @@ class CIBBeamformer:
         Args:
             command_envelope: Real-valued amplitude envelope in [0, 1],
                 e.g. a PIE-encoded query.
+            faults: Optional fault injector; corrupts the downlink command
+                envelope (bit-corruption plane) and forwards to
+                :meth:`carrier_streams` for the carrier-plane faults.
+            trial_index: Absolute trial index keying the fault streams.
         """
         command = np.asarray(command_envelope, dtype=float)
         if command.ndim != 1 or command.size == 0:
             raise ValueError("command_envelope must be a non-empty 1-D array")
         if np.any(command < 0):
             raise ValueError("command envelope amplitudes must be non-negative")
+        if faults is not None and faults.active:
+            command = faults.corrupt_envelope(trial_index, command)
         frame = self.carrier_streams(
-            command.size, rng, start_time_s, timing_offsets_s
+            command.size, rng, start_time_s, timing_offsets_s, faults, trial_index
         )
         # A trigger error shifts that antenna's *command* in time as well
         # as its carrier phase: a late radio keeps transmitting while the

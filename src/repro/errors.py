@@ -23,3 +23,28 @@ class DecodingError(ReproError):
 
 class CalibrationError(ReproError):
     """An experiment calibration search failed to converge."""
+
+
+class ChunkExecutionError(ReproError):
+    """A Monte-Carlo trial chunk failed in a worker and again on retry.
+
+    Carries the worker-side traceback text so the original failure site is
+    visible even though the exception crossed a process boundary.
+
+    Attributes:
+        start / count: The failed chunk's trial span.
+        worker_traceback: Formatted traceback from the worker process (or
+            the in-process retry), empty when unavailable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        start: int = 0,
+        count: int = 0,
+        worker_traceback: str = "",
+    ):
+        super().__init__(message)
+        self.start = int(start)
+        self.count = int(count)
+        self.worker_traceback = worker_traceback

@@ -11,12 +11,14 @@
 | ``invivo``         | Sec. 6.2 -- swine trials + Fig. 15 traces         |
 | ``constraint_check``| Sec. 3.6 -- flatness-budget arithmetic           |
 | ``ablations``      | Footnote 5, Secs. 3.4-3.7 design ablations        |
+| ``degradation``    | Extension -- fault-severity degradation tables    |
 """
 
 from repro.experiments import (
     ablations,
     ber,
     constraint_check,
+    degradation,
     fig04,
     fig05,
     fig06,
@@ -37,6 +39,7 @@ __all__ = [
     "ablations",
     "ber",
     "constraint_check",
+    "degradation",
     "fig04",
     "fig05",
     "fig06",

@@ -20,7 +20,7 @@ from repro.gen2.fm0 import chips_to_waveform, encode_chips, waveform_to_chips
 from repro.gen2.fm0 import decode_chips
 from repro.gen2.miller import decode_waveform, encode_waveform
 from repro.reader.averaging import coherent_average
-from repro.runtime.instrument import get_instrumentation
+from repro.obs.context import current_obs
 from repro.runtime.runner import TrialRunner
 
 
@@ -155,7 +155,6 @@ def run(config: BerConfig = BerConfig()) -> BerResult:
     for scheme in schemes:
         curves[scheme] = []
 
-    instr = get_instrumentation()
     runner = TrialRunner(workers=config.workers)
     for snr_db in config.snr_db_points:
         noise_std = float(10.0 ** (-snr_db / 20.0))  # signal amplitude = 1
@@ -169,7 +168,9 @@ def run(config: BerConfig = BerConfig()) -> BerResult:
             miller_orders=config.miller_orders,
             averaging_periods=config.averaging_periods,
         )
-        with instr.stage("ber.words", trials=config.n_words):
+        with current_obs().stage_span(
+            "ber.words", trials=config.n_words, snr_db=snr_db
+        ):
             chunks = runner.map_chunks(fn, config.n_words)
         errors = {scheme: 0 for scheme in schemes}
         for chunk in chunks:

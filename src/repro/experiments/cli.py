@@ -41,6 +41,7 @@ from repro.experiments import (
     ablations,
     ber,
     constraint_check,
+    degradation,
     fig04,
     fig05,
     fig06,
@@ -60,6 +61,10 @@ from repro.experiments import (
 def _tables_of(result) -> List:
     """Collect every table a result object can produce."""
     tables = []
+    many = getattr(result, "tables", None)
+    if callable(many):
+        tables.extend(many())
+        return tables
     for attribute in (
         "table",
         "monte_carlo_table",
@@ -133,6 +138,7 @@ EXPERIMENTS: Dict[str, Callable[..., object]] = {
     "sensitivity": lambda fast, workers, record=None: _run_figure(sensitivity, fast, record=record),
     "ber": lambda fast, workers, record=None: _run_figure(ber, fast, workers, record),
     "constraints": lambda fast, workers, record=None: constraint_check.run(),
+    "degradation": lambda fast, workers, record=None: _run_figure(degradation, fast, workers, record),
     "ablations": _run_ablations,
 }
 
@@ -194,6 +200,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         metavar="PATH",
         help="write the run's aggregated metrics registry as JSON",
+    )
+    parser.add_argument(
+        "--tables-out",
+        metavar="PATH",
+        help="write results that expose a JSON payload (e.g. degradation "
+        "tables) as one JSON document keyed by experiment name",
     )
     parser.add_argument(
         "--manifest-out",
@@ -309,6 +321,7 @@ def main(argv=None) -> int:
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     runs = []
+    payloads: Dict[str, dict] = {}
     with obs_context() as obs:
         for name in names:
             record: dict = {}
@@ -331,6 +344,15 @@ def main(argv=None) -> int:
                 for plot in _plots_of(result):
                     print()
                     print(plot)
+            dump = getattr(result, "to_json_dict", None)
+            if callable(dump):
+                payloads[name] = dump()
+        if args.tables_out:
+            with open(args.tables_out, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {"experiments": payloads}, handle, indent=2, sort_keys=True
+                )
+                handle.write("\n")
         if args.timings:
             from repro.experiments.report import runtime_table
 

@@ -30,6 +30,7 @@ from repro.em.channel import BlindChannel
 from repro.em.media import Medium
 from repro.em.multipath import MultipathProfile
 from repro.em.phantoms import WaterTankPhantom
+from repro.faults.plan import FaultPlan
 from repro.harvester.tag_power import HarvesterFrontEnd
 from repro.obs.context import current_obs
 from repro.runtime import engine as engine_mod
@@ -99,6 +100,7 @@ def measure_gain_trials(
     engine: str = "auto",
     workers: int = 1,
     chunk_size: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> List[GainSample]:
     """Run the Sec. 6.1.1 measurement loop on the batched runtime.
 
@@ -115,6 +117,8 @@ def measure_gain_trials(
             choice for integer-bin plans) agrees to ~1e-13 relative.
         workers: Worker processes; results are identical for any count.
         chunk_size: Trials per chunk (default: one chunk per worker).
+        fault_plan: Optional fault plan injected into the CIB side of
+            every trial (empty/None is bit-identical to the healthy run).
     """
     if n_trials <= 0:
         raise ValueError(f"n_trials must be positive, got {n_trials}")
@@ -128,6 +132,7 @@ def measure_gain_trials(
         duration_s=duration_s,
         include_baseline=include_baseline,
         engine=engine,
+        fault_plan=fault_plan,
     )
     with current_obs().tracer.span(
         "experiment.measure_gain_trials",
@@ -226,8 +231,13 @@ def power_up_probability(
     engine: str = "auto",
     workers: int = 1,
     chunk_size: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> float:
-    """Fraction of trials whose peak V_s clears the tag's minimum."""
+    """Fraction of trials whose peak V_s clears the tag's minimum.
+
+    ``fault_plan`` injects carrier-plane faults and tag detuning into
+    every trial; empty/None is bit-identical to the healthy run.
+    """
     if n_trials <= 0:
         raise ValueError(f"n_trials must be positive, got {n_trials}")
     runner = TrialRunner(workers=workers, chunk_size=chunk_size)
@@ -241,6 +251,7 @@ def power_up_probability(
         seed=seed,
         n_trials=n_trials,
         engine=engine,
+        fault_plan=fault_plan,
     )
     with current_obs().tracer.span(
         "experiment.power_up_probability",

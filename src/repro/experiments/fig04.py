@@ -36,7 +36,7 @@ from repro.harvester.rectifier import (
 from repro.harvester.tag_power import HarvesterFrontEnd
 from repro.rf.antenna import STANDARD_TAG_ANTENNA
 from repro.runtime import engine as engine_mod
-from repro.runtime.instrument import get_instrumentation
+from repro.obs.context import current_obs
 from repro.runtime.runner import TrialRunner
 
 
@@ -127,13 +127,13 @@ def _peak_factor_chunk(
     engine: str,
 ) -> np.ndarray:
     """Peak factors of phase draws ``[start, start + count)``."""
-    instr = get_instrumentation()
-    with instr.stage("peak_factors.realize", trials=count):
+    obs = current_obs()
+    with obs.stage_span("peak_factors.realize", trials=count):
         rngs = spawn_rngs(seed, n_trials)[start : start + count]
         betas = np.vstack(
             [rng.uniform(0.0, 2.0 * np.pi, offsets.size) for rng in rngs]
         )
-    with instr.stage("peak_factors.evaluate", trials=count):
+    with obs.stage_span("peak_factors.evaluate", trials=count):
         return engine_mod.peak_amplitudes(offsets, betas, 1.0, engine=engine)
 
 

@@ -82,8 +82,9 @@ def runtime_table(instrumentation) -> Table:
 
     Args:
         instrumentation: A :class:`repro.runtime.instrument.Instrumentation`
-            (typically ``get_instrumentation()``); formatting lives here so
-            the runtime package stays free of experiment-layer imports.
+            (typically ``current_obs().instrumentation``); formatting lives
+            here so the runtime package stays free of experiment-layer
+            imports.
     """
     table = Table(
         title="Runtime -- per-stage wall clock and trial throughput",

@@ -1,0 +1,59 @@
+"""Deterministic fault injection and degradation campaigns.
+
+IVN's robustness claim -- no channel estimation, so hardware misbehavior
+degrades the link instead of collapsing it -- needs a way to *break*
+hardware on purpose. This package provides it in three layers:
+
+* :mod:`repro.faults.plan` -- declarative, hashable
+  :class:`FaultPlan` / :class:`FaultEvent` descriptions of what
+  misbehaves (antenna dropout, PLL relock, reference holdover, trigger
+  desync, tag detuning, bit corruption).
+* :mod:`repro.faults.inject` -- :class:`FaultInjector`, the deterministic
+  realization engine host modules call through optional hooks. An empty
+  plan is guaranteed bit-identical to the un-hooked code path.
+* :mod:`repro.faults.campaign` -- :func:`run_campaign`, a severity-sweep
+  runner over :class:`~repro.runtime.runner.TrialRunner` producing
+  :class:`DegradationTable` curves (and their CI-validated JSON schema).
+
+See DESIGN.md section 9 for the determinism contract and the plan-cache
+interaction.
+"""
+
+from repro.faults.campaign import (
+    DEGRADATION_SCHEMA_VERSION,
+    DegradationTable,
+    run_campaign,
+    validate_degradation_dict,
+)
+from repro.faults.inject import FaultInjector, PerturbedTrial
+from repro.faults.plan import (
+    EMPTY_PLAN,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    antenna_dropout,
+    bit_corruption,
+    pll_relock,
+    reference_holdover,
+    tag_detuning,
+    trigger_desync,
+)
+
+__all__ = [
+    "DEGRADATION_SCHEMA_VERSION",
+    "DegradationTable",
+    "EMPTY_PLAN",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "PerturbedTrial",
+    "antenna_dropout",
+    "bit_corruption",
+    "pll_relock",
+    "reference_holdover",
+    "run_campaign",
+    "tag_detuning",
+    "trigger_desync",
+    "validate_degradation_dict",
+]

@@ -8,7 +8,7 @@ chips into bits.
 """
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
@@ -18,6 +18,9 @@ from repro.constants import (
 )
 from repro.errors import DecodingError
 from repro.gen2 import fm0
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.inject import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -85,6 +88,8 @@ def decode_fm0_response(
     samples_per_chip: int,
     threshold: float = PREAMBLE_CORRELATION_THRESHOLD,
     expect_dummy: bool = True,
+    faults: Optional["FaultInjector"] = None,
+    trial_index: int = 0,
 ) -> DecodeResult:
     """Full decode: preamble search, polarity fix, chip slicing.
 
@@ -95,9 +100,15 @@ def decode_fm0_response(
         samples_per_chip: Half-bit duration in samples.
         threshold: Success threshold on the preamble correlation.
         expect_dummy: Whether the tag appended the dummy data-1.
+        faults: Optional fault injector; its bit-corruption events flip
+            chip-long waveform segments ahead of the correlator. Inactive
+            injectors leave the waveform untouched.
+        trial_index: Absolute trial index keying the corruption stream.
     """
     if n_bits < 1:
         raise ValueError(f"n_bits must be positive, got {n_bits}")
+    if faults is not None and faults.active:
+        waveform = faults.corrupt_waveform(trial_index, waveform, samples_per_chip)
     correlation, offset = correlate_preamble(waveform, samples_per_chip)
     if correlation < threshold:
         return DecodeResult(

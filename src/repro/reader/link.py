@@ -15,7 +15,7 @@ One :meth:`IvnLink.run_trial` call simulates a complete interaction:
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
@@ -34,6 +34,9 @@ from repro.rf.amplifier import PowerAmplifier
 from repro.rf.antenna import MT242025_PANEL, Antenna
 from repro.sensors.sensor import BatteryFreeSensor
 from repro.sensors.tags import TagSpec
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.inject import FaultInjector
 
 
 def branch_eirp_w(
@@ -155,6 +158,8 @@ class IvnLink:
         medium_at_tag: Medium,
         rng: np.random.Generator,
         epc_bits: Optional[Tuple[int, ...]] = None,
+        faults: Optional["FaultInjector"] = None,
+        trial_index: int = 0,
     ) -> LinkTrialResult:
         """Simulate one complete interaction over one channel realization.
 
@@ -164,6 +169,12 @@ class IvnLink:
                 the wave impedance in Eq. 3).
             rng: Randomness for this trial.
             epc_bits: Sensor identity; a fixed default is used when absent.
+            faults: Optional fault injector; applies carrier-plane faults
+                to the CIB envelope, tag detuning to the harvested
+                voltage, and link-plane corruption to the reader capture.
+                ``None`` (or an empty plan) is bit-identical to the
+                un-hooked trial.
+            trial_index: Absolute trial index keying the fault streams.
         """
         if epc_bits is None:
             epc_bits = tuple(int(b) for b in np.tile((1, 0, 1, 1, 0, 0, 1, 0), 12))
@@ -184,10 +195,19 @@ class IvnLink:
         amplitudes = field_scale * np.abs(gains) * self.plan.amplitudes_array()
 
         offsets = self.plan.offsets_array()
+        voltage_scale = 1.0
+        if faults is not None and faults.active:
+            perturbed = faults.perturb_trial(
+                trial_index, offsets, betas, amplitudes
+            )
+            offsets = perturbed.offsets_hz
+            betas = perturbed.betas
+            amplitudes = perturbed.amplitudes
+            voltage_scale = perturbed.voltage_scale
         peak_field, t_peak = waveform_mod.peak_envelope(
             offsets, betas, duration_s=1.0, amplitudes=amplitudes
         )
-        peak_vs = sensor.input_voltage_from_field(
+        peak_vs = voltage_scale * sensor.input_voltage_from_field(
             peak_field, medium_at_tag, self.plan.center_frequency_hz
         )
 
@@ -212,6 +232,12 @@ class IvnLink:
         carrier_envelope = waveform_mod.envelope(
             offsets, betas, window, amplitudes
         )
+        if faults is not None and faults.active:
+            # Downlink corruption: the field the sensor envelope-detects,
+            # not the reference command it correlates against.
+            carrier_envelope = faults.corrupt_envelope(
+                trial_index, carrier_envelope
+            )
         outcome = sensor.decode_query_envelope(
             carrier_envelope, command_envelope, self.reader.sample_rate_hz
         )
@@ -258,7 +284,11 @@ class IvnLink:
             beamformer_frequency_hz=self.plan.center_frequency_hz,
         )
         decode = self.reader.decode(
-            capture, n_bits=len(reply.bits), samples_per_chip=samples_per_chip
+            capture,
+            n_bits=len(reply.bits),
+            samples_per_chip=samples_per_chip,
+            faults=faults,
+            trial_index=trial_index,
         )
         return LinkTrialResult(
             powered=True,

@@ -191,11 +191,20 @@ class OutOfBandReader:
         n_bits: int,
         samples_per_chip: int,
         threshold: float = PREAMBLE_CORRELATION_THRESHOLD,
+        faults=None,
+        trial_index: int = 0,
     ) -> DecodeResult:
-        """Correlation decode of an averaged capture (Sec. 6.2 rule)."""
+        """Correlation decode of an averaged capture (Sec. 6.2 rule).
+
+        ``faults`` / ``trial_index`` forward to
+        :func:`repro.gen2.decoder.decode_fm0_response` for link-plane
+        corruption injection; ``None`` decodes the capture untouched.
+        """
         return decode_fm0_response(
             capture.waveform,
             n_bits=n_bits,
             samples_per_chip=samples_per_chip,
             threshold=threshold,
+            faults=faults,
+            trial_index=trial_index,
         )

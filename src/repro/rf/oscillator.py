@@ -52,6 +52,21 @@ class Oscillator:
         """Re-acquire lock: the initial phase is redrawn (a new theta_i)."""
         self.initial_phase_rad = float(self._rng.uniform(0.0, 2.0 * math.pi))
 
+    def apply_phase_jump(self, delta_rad: float) -> None:
+        """Shift the carrier phase (a PLL relock transient mid-trial).
+
+        Unlike :meth:`relock` this is externally driven -- the fault
+        injector supplies the jump -- so it consumes nothing from this
+        oscillator's generator.
+        """
+        self.initial_phase_rad = float(self.initial_phase_rad + delta_rad)
+
+    def enter_holdover(self, frequency_error_hz: float) -> None:
+        """Add a static frequency error (reference lost, PLL in holdover)."""
+        self.frequency_error_hz = float(
+            self.frequency_error_hz + frequency_error_hz
+        )
+
     def phase_at(self, t: np.ndarray) -> np.ndarray:
         """Instantaneous phase at times ``t`` (excluding phase noise)."""
         t = np.asarray(t, dtype=float)

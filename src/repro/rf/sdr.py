@@ -7,7 +7,7 @@ of a :class:`~repro.core.beamformer.CIBBeamformer`.
 """
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
@@ -15,6 +15,9 @@ from repro.core.plan import CarrierPlan
 from repro.errors import ConfigurationError
 from repro.rf.sync import SyncDomain
 from repro.rf.transmitter import TransmitChain
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.inject import FaultInjector
 
 
 @dataclass
@@ -82,8 +85,26 @@ class RadioArray:
         """EIRP of each branch after PA compression."""
         return np.array([radio.chain.eirp_watts() for radio in self.radios])
 
+    def apply_faults(
+        self, faults: Optional["FaultInjector"], trial_index: int = 0
+    ) -> None:
+        """Realize oscillator-plane faults (relock jumps, holdover drift).
+
+        Call once per trial before :meth:`synchronized_transmit`. A
+        ``None`` or inactive injector leaves every oscillator untouched.
+        """
+        if faults is None or not faults.active:
+            return
+        faults.apply_to_oscillators(
+            trial_index, [radio.chain.oscillator for radio in self.radios]
+        )
+
     def synchronized_transmit(
-        self, envelope: np.ndarray, apply_trigger_jitter: bool = True
+        self,
+        envelope: np.ndarray,
+        apply_trigger_jitter: bool = True,
+        faults: Optional["FaultInjector"] = None,
+        trial_index: int = 0,
     ) -> np.ndarray:
         """All radios transmit the same envelope at the same trigger.
 
@@ -96,7 +117,7 @@ class RadioArray:
         envelope = np.asarray(envelope, dtype=float)
         streams = np.empty((self.n_radios, envelope.size), dtype=complex)
         offsets_s = (
-            self.sync.trigger_offsets(self._rng)
+            self.sync.trigger_offsets(self._rng, faults, trial_index)
             if apply_trigger_jitter
             else np.zeros(self.n_radios)
         )
@@ -106,4 +127,7 @@ class RadioArray:
                 np.roll(envelope, shift_samples) if shift_samples else envelope
             )
             streams[index] = radio.transmit(shifted)
+        if faults is not None and faults.active:
+            for index in faults.dropped_antennas(trial_index, self.n_radios):
+                streams[index] = 0.0
         return streams

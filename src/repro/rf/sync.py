@@ -8,12 +8,15 @@ does not need *phase* coherence.
 """
 
 from dataclasses import dataclass
-from typing import List
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
 from repro.constants import REFERENCE_CLOCK_HZ
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.inject import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -71,11 +74,30 @@ class SyncDomain:
         self.trigger_jitter_std_s = float(trigger_jitter_std_s)
         self.reference = reference
 
-    def trigger_offsets(self, rng: np.random.Generator) -> np.ndarray:
-        """Per-radio trigger-time errors for one synchronized transmission."""
+    def trigger_offsets(
+        self,
+        rng: np.random.Generator,
+        faults: Optional["FaultInjector"] = None,
+        trial_index: int = 0,
+    ) -> np.ndarray:
+        """Per-radio trigger-time errors for one synchronized transmission.
+
+        ``faults`` adds the injector's extra desync (errors far beyond the
+        domain spec) on top of the nominal jitter; the extra term draws
+        from the injector's own stream, so the nominal draws below are
+        unchanged whether or not a fault plan is active.
+        """
         if self.trigger_jitter_std_s == 0:
-            return np.zeros(self.n_radios)
-        return rng.normal(0.0, self.trigger_jitter_std_s, size=self.n_radios)
+            offsets = np.zeros(self.n_radios)
+        else:
+            offsets = rng.normal(
+                0.0, self.trigger_jitter_std_s, size=self.n_radios
+            )
+        if faults is not None and faults.active:
+            offsets = offsets + faults.extra_trigger_offsets_s(
+                trial_index, self.n_radios
+            )
+        return offsets
 
     def worst_case_skew_s(self, rng: np.random.Generator) -> float:
         """Spread between the earliest and latest radio in one trigger."""

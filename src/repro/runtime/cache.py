@@ -266,13 +266,17 @@ def optimized_plan(
     cache: Optional[PlanCache] = None,
     islands: Optional[int] = None,
     workers: Optional[int] = None,
+    fault_token: Optional[str] = None,
 ) -> OptimizationResult:
     """Cached equivalent of ``FrequencyOptimizer(...).optimize(...)``.
 
     ``islands`` / ``workers`` default to :func:`configure_search` settings;
     the island count is part of the cache key (it changes which candidate
     streams are explored) while the worker count is not (results are
-    bit-identical for any fan-out).
+    bit-identical for any fan-out). ``fault_token`` (a
+    :meth:`repro.faults.plan.FaultPlan.cache_token` value) is part of the
+    key, so results produced under one fault plan are never served to
+    another; ``None`` and the empty plan share the healthy key.
     """
     constraint = constraint if constraint is not None else FlatnessConstraint()
     cache = cache if cache is not None else get_plan_cache()
@@ -292,6 +296,7 @@ def optimized_plan(
         refine_steps=tuple(refine_steps),
         islands=islands,
         search_rev=SEARCH_REV,
+        fault_token=fault_token or "none",
     )
     obs = current_obs()
     with obs.tracer.span("plan_cache.lookup", kind="peak", key=key) as span:
@@ -333,8 +338,13 @@ def optimized_conduction_plan(
     cache: Optional[PlanCache] = None,
     islands: Optional[int] = None,
     workers: Optional[int] = None,
+    fault_token: Optional[str] = None,
 ) -> OptimizationResult:
-    """Cached ``FrequencyOptimizer(...).optimize_conduction(threshold, ...)``."""
+    """Cached ``FrequencyOptimizer(...).optimize_conduction(threshold, ...)``.
+
+    ``fault_token`` participates in the cache key exactly as in
+    :func:`optimized_plan`.
+    """
     constraint = constraint if constraint is not None else FlatnessConstraint()
     cache = cache if cache is not None else get_plan_cache()
     islands = _SEARCH_DEFAULTS["islands"] if islands is None else islands
@@ -354,6 +364,7 @@ def optimized_conduction_plan(
         refine_steps=tuple(refine_steps),
         islands=islands,
         search_rev=SEARCH_REV,
+        fault_token=fault_token or "none",
     )
     obs = current_obs()
     with obs.tracer.span(

@@ -33,7 +33,7 @@ bit-identical across engines, chunk sizes, and worker counts.
 """
 
 import math
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -51,6 +51,9 @@ from repro.em.media import Medium
 from repro.harvester.tag_power import HarvesterFrontEnd
 from repro.obs.context import current_obs
 from repro.sensors.tags import TagSpec
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.plan import FaultPlan
 
 ENGINES = ("auto", "fft", "direct", "scalar")
 """Recognized engine names, in order of preference."""
@@ -238,6 +241,53 @@ def _blind_peaks(
     return out
 
 
+def _fault_injector(fault_plan: Optional["FaultPlan"], seed: int):
+    """A live injector for ``fault_plan``, or None when nothing injects.
+
+    The lazy import keeps :mod:`repro.faults` entirely off the healthy
+    path (and out of this module's import graph).
+    """
+    if fault_plan is None or fault_plan.is_empty:
+        return None
+    from repro.faults.inject import FaultInjector
+
+    return FaultInjector(fault_plan, seed)
+
+
+def _faulted_peaks(
+    injector,
+    start: int,
+    offsets: np.ndarray,
+    betas: np.ndarray,
+    amplitudes: np.ndarray,
+    duration_s: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-trial peak envelopes under a fault plan, plus voltage scales.
+
+    Fault-active chunks evaluate trial-by-trial on the scalar tier:
+    reference-holdover drift perturbs each trial's *offsets*, so the
+    batched tiers' shared frequency grid no longer exists. The absolute
+    trial index ``start + i`` keys each trial's fault realization, keeping
+    results independent of chunking and worker count.
+    """
+    count = betas.shape[0]
+    peaks = np.empty(count)
+    voltage_scales = np.ones(count)
+    for index in range(count):
+        perturbed = injector.perturb_trial(
+            start + index, offsets, betas[index], amplitudes[index]
+        )
+        peaks[index], _ = waveform.peak_envelope(
+            perturbed.offsets_hz,
+            perturbed.betas,
+            duration_s,
+            perturbed.amplitudes,
+        )
+        voltage_scales[index] = perturbed.voltage_scale
+    current_obs().metrics.counter("faults.fault_trials").inc(count)
+    return peaks, voltage_scales
+
+
 # -- trial-chunk work units ----------------------------------------------------
 #
 # Signature convention: (start, count) first so the pool runner can call
@@ -254,15 +304,22 @@ def measure_gain_chunk(
     duration_s: float,
     include_baseline: bool,
     engine: str,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Gains of trials ``[start, start + count)`` of a Sec. 6.1.1 sweep.
 
     Returns ``(cib_gains, baseline_gains)`` arrays matching what the legacy
     scalar loop stores in its :class:`~repro.experiments.common.GainSample`
-    list for the same trial indices.
+    list for the same trial indices. A non-empty ``fault_plan`` perturbs
+    the CIB side of each trial (the single-antenna reference and blind
+    baseline stay healthy, so the gains show pure CIB degradation) and
+    forces the scalar tier; an empty plan is bit-identical to omitting it.
     """
     obs = current_obs()
     tier = resolve_engine(engine, plan.offsets_array(), duration_s)
+    injector = _fault_injector(fault_plan, seed)
+    if injector is not None:
+        tier = "scalar"  # per-trial offset drift breaks shared grids
     obs.metrics.counter("trials.processed").inc(count)
     obs.metrics.counter(f"engine.tier.{tier}").inc()
     n_antennas = plan.n_antennas
@@ -304,9 +361,14 @@ def measure_gain_chunk(
                     )
 
     with obs.stage_span("gain_trials.evaluate", trials=count, tier=tier):
-        cib_peaks = peak_amplitudes(
-            offsets, cib_betas, duration_s, cib_amps, engine
-        )
+        if injector is not None:
+            cib_peaks, _ = _faulted_peaks(
+                injector, start, offsets, cib_betas, cib_amps, duration_s
+            )
+        else:
+            cib_peaks = peak_amplitudes(
+                offsets, cib_betas, duration_s, cib_amps, engine
+            )
         if include_baseline:
             baseline_peaks = _blind_peaks(
                 gains_rows,
@@ -337,17 +399,23 @@ def power_up_chunk(
     seed: int,
     n_trials: int,
     engine: str,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> int:
     """Power-up successes among trials ``[start, start + count)``.
 
     Batched equivalent of looping
     :func:`repro.experiments.common.peak_input_voltage_v` over per-trial
-    generators and counting voltages above the tag threshold.
+    generators and counting voltages above the tag threshold. A non-empty
+    ``fault_plan`` perturbs each trial's carriers and scales the harvested
+    voltage (tag detuning); an empty plan is bit-identical to omitting it.
     """
     obs = current_obs()
     if eirp_per_branch_w <= 0:
         raise ValueError("EIRP must be positive")
     tier = resolve_engine(engine, plan.offsets_array(), 1.0)
+    injector = _fault_injector(fault_plan, seed)
+    if injector is not None:
+        tier = "scalar"  # per-trial offset drift breaks shared grids
     obs.metrics.counter("trials.processed").inc(count)
     obs.metrics.counter(f"engine.tier.{tier}").inc()
     threshold = tag_spec.minimum_input_voltage_v()
@@ -377,7 +445,15 @@ def power_up_chunk(
             amplitudes[index] = field_scale * np.abs(gains) * plan_amps
 
     with obs.stage_span("power_up.evaluate", trials=count, tier=tier):
-        peak_fields = peak_amplitudes(offsets, betas, 1.0, amplitudes, engine)
+        if injector is not None:
+            peak_fields, voltage_scales = _faulted_peaks(
+                injector, start, offsets, betas, amplitudes, 1.0
+            )
+        else:
+            peak_fields = peak_amplitudes(
+                offsets, betas, 1.0, amplitudes, engine
+            )
+            voltage_scales = None
     obs.metrics.histogram("envelope.peak", PEAK_HIST_EDGES).observe_many(
         peak_fields
     )
@@ -388,10 +464,12 @@ def power_up_chunk(
         liquid_aperture_factor=tag_spec.liquid_aperture_factor,
     )
     successes = 0
-    for peak_field in peak_fields:
+    for index, peak_field in enumerate(peak_fields):
         voltage = front_end.input_voltage_amplitude_v(
             float(peak_field), medium_at_tag, plan.center_frequency_hz
         )
+        if voltage_scales is not None:
+            voltage *= voltage_scales[index]
         if voltage >= threshold:
             successes += 1
     return successes

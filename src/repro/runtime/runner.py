@@ -29,11 +29,13 @@ rather than failing the experiment.
 import math
 import pickle
 import time
+import traceback
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.errors import ChunkExecutionError
 from repro.obs.context import ObsContext, current_obs, obs_context
 
 CHUNK_WALL_HIST_EDGES = (
@@ -59,6 +61,22 @@ def _run_chunk(
         "runner.chunk_wall_s", CHUNK_WALL_HIST_EDGES
     ).observe(wall_s)
     return result
+
+
+def _failure_traceback(exc: BaseException) -> str:
+    """The most useful traceback text for a pool-chunk failure.
+
+    ``concurrent.futures`` re-raises worker exceptions in the parent with
+    the original formatted traceback attached as a ``_RemoteTraceback``
+    cause; surface that, falling back to the parent-side traceback (e.g.
+    for a ``BrokenProcessPool``, where there is no remote frame).
+    """
+    cause = getattr(exc, "__cause__", None)
+    if cause is not None and type(cause).__name__ == "_RemoteTraceback":
+        return str(cause)
+    return "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
 
 
 def _pool_chunk(
@@ -149,10 +167,57 @@ class TrialRunner:
                     for start, count in spans
                 ]
                 results = []
-                for future, (start, _) in zip(futures, spans):
-                    result, telemetry = future.result()
+                for future, (start, count) in zip(futures, spans):
+                    try:
+                        result, telemetry = future.result()
+                    except Exception as exc:
+                        results.append(
+                            self._retry_chunk(fn, start, count, obs, label, exc)
+                        )
+                        continue
                     obs.absorb_state(
                         telemetry, extra_attrs={"subprocess": True}
                     )
                     results.append(result)
         return results
+
+    def _retry_chunk(
+        self,
+        fn: Callable[[int, int], Any],
+        start: int,
+        count: int,
+        obs: ObsContext,
+        label: str,
+        exc: BaseException,
+    ) -> Any:
+        """Bounded recovery for one failed pool chunk: retry in-process.
+
+        Chunk functions are deterministic in ``(start, count)``, so an
+        in-process re-run yields exactly what the worker would have -- the
+        retry cannot change results, only rescue transient worker deaths
+        (OOM kills, broken pools). A second failure raises
+        :class:`~repro.errors.ChunkExecutionError` carrying the original
+        worker traceback so the failure site stays visible across the
+        process boundary.
+        """
+        worker_tb = _failure_traceback(exc)
+        warnings.warn(
+            f"trial chunk [{start}, {start + count}) failed in a worker "
+            f"({type(exc).__name__}: {exc}); retrying once in-process. "
+            f"Worker traceback:\n{worker_tb}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        obs.metrics.counter("runner.chunk_retries").inc()
+        try:
+            return _run_chunk(fn, start, count, obs, f"{label}.retry")
+        except Exception as retry_exc:
+            raise ChunkExecutionError(
+                f"trial chunk [{start}, {start + count}) failed in a "
+                f"worker and again on in-process retry "
+                f"({type(retry_exc).__name__}: {retry_exc}); original "
+                f"worker traceback:\n{worker_tb}",
+                start=start,
+                count=count,
+                worker_traceback=worker_tb,
+            ) from retry_exc

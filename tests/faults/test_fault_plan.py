@@ -1,0 +1,103 @@
+"""Tests for repro.faults.plan -- declarative plans and stable hashing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import (
+    EMPTY_PLAN,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    antenna_dropout,
+    bit_corruption,
+    pll_relock,
+    reference_holdover,
+    tag_detuning,
+    trigger_desync,
+)
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            FaultEvent(kind="meteor_strike")
+
+    @pytest.mark.parametrize("severity", [-0.1, 1.5])
+    def test_severity_bounds(self, severity):
+        with pytest.raises(ConfigurationError, match="severity"):
+            FaultEvent(kind="pll_relock", severity=severity)
+
+    @pytest.mark.parametrize("probability", [-0.5, 2.0])
+    def test_probability_bounds(self, probability):
+        with pytest.raises(ConfigurationError, match="probability"):
+            FaultEvent(kind="pll_relock", probability=probability)
+
+    def test_antennas_normalized_to_tuple(self):
+        event = FaultEvent(kind="antenna_dropout", antennas=[2, 0])
+        assert event.antennas == (2, 0)
+
+    def test_duplicate_antennas_rejected(self):
+        with pytest.raises(ConfigurationError, match="distinct"):
+            FaultEvent(kind="antenna_dropout", antennas=(1, 1))
+
+    def test_negative_antennas_rejected(self):
+        with pytest.raises(ConfigurationError, match="antenna indices"):
+            FaultEvent(kind="antenna_dropout", antennas=(-1,))
+
+    def test_every_kind_constructs(self):
+        for kind in FAULT_KINDS:
+            assert FaultEvent(kind=kind).kind == kind
+
+
+class TestFaultPlanHash:
+    def test_empty_plan(self):
+        assert EMPTY_PLAN.is_empty
+        assert EMPTY_PLAN.n_events == 0
+        assert EMPTY_PLAN.cache_token() == "none"
+
+    def test_hash_is_stable_across_instances(self):
+        a = pll_relock(0.5)
+        b = pll_relock(0.5)
+        assert a.stable_hash() == b.stable_hash()
+        assert a.cache_token() == b.cache_token()
+
+    def test_hash_distinguishes_severity(self):
+        assert pll_relock(0.5).stable_hash() != pll_relock(0.6).stable_hash()
+
+    def test_hash_distinguishes_kind(self):
+        assert (
+            tag_detuning(0.5).stable_hash()
+            != bit_corruption(0.5).stable_hash()
+        )
+
+    def test_name_not_hashed(self):
+        a = pll_relock(0.5)
+        renamed = FaultPlan(events=a.events, name="other")
+        assert renamed.stable_hash() == a.stable_hash()
+
+    def test_cache_token_prefixed(self):
+        token = antenna_dropout(antennas=(0,)).cache_token()
+        assert token.startswith("faults:")
+
+    def test_seed_material_is_int(self):
+        material = trigger_desync(1.0).seed_material()
+        assert isinstance(material, int)
+        assert material >= 0
+
+
+class TestHelperConstructors:
+    def test_single_event_plans(self):
+        for plan, kind in [
+            (antenna_dropout(), "antenna_dropout"),
+            (pll_relock(0.5), "pll_relock"),
+            (reference_holdover(0.5), "reference_holdover"),
+            (trigger_desync(0.5), "trigger_desync"),
+            (tag_detuning(0.5), "tag_detuning"),
+            (bit_corruption(0.5), "bit_corruption"),
+        ]:
+            assert plan.n_events == 1
+            assert plan.events[0].kind == kind
+            assert not plan.is_empty
+
+    def test_label_mentions_kind(self):
+        assert "pll_relock" in pll_relock(1.0).label()

@@ -1,0 +1,90 @@
+"""Corruption coverage: CRC flip detection and FM0 preamble robustness.
+
+Complements ``test_crc.py``/``test_decoder.py`` with the error cases the
+fault subsystem exercises: double bit flips against both CRCs, and the
+Sec. 6.2 preamble-correlation rule rejecting corrupted preambles.
+"""
+
+import itertools
+
+import pytest
+
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import bit_corruption
+from repro.gen2 import fm0
+from repro.gen2.crc import append_crc16, append_crc5, check_crc16, check_crc5
+from repro.gen2.decoder import correlate_preamble, decode_fm0_response
+
+PAYLOAD = (1, 0, 1, 1, 0, 0, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0)
+SPC = 4
+
+
+def flip(frame, positions):
+    out = list(frame)
+    for position in positions:
+        out[position] ^= 1
+    return tuple(out)
+
+
+class TestCrcDoubleFlips:
+    def test_crc5_detects_every_double_flip(self, rng):
+        message = tuple(int(b) for b in rng.integers(0, 2, 17))
+        frame = append_crc5(message)
+        for pair in itertools.combinations(range(len(frame)), 2):
+            assert not check_crc5(flip(frame, pair)), pair
+
+    def test_crc16_detects_every_single_flip(self, rng):
+        message = tuple(int(b) for b in rng.integers(0, 2, 32))
+        frame = append_crc16(message)
+        for position in range(len(frame)):
+            assert not check_crc16(flip(frame, (position,))), position
+
+    def test_crc16_detects_sampled_double_flips(self, rng):
+        message = tuple(int(b) for b in rng.integers(0, 2, 32))
+        frame = append_crc16(message)
+        pairs = list(itertools.combinations(range(len(frame)), 2))
+        for index in rng.choice(len(pairs), size=200, replace=False):
+            pair = pairs[int(index)]
+            assert not check_crc16(flip(frame, pair)), pair
+
+
+class TestPreambleCorruption:
+    def waveform(self):
+        chips = fm0.encode_chips(
+            PAYLOAD, include_preamble=True, dummy_bit=True
+        )
+        return fm0.chips_to_waveform(chips, SPC)
+
+    def test_clean_preamble_correlates_perfectly(self):
+        correlation, offset = correlate_preamble(self.waveform(), SPC)
+        assert correlation == pytest.approx(1.0)
+        assert offset == 0
+
+    @pytest.mark.parametrize("n_flipped", [2, 3, 4])
+    def test_corrupted_preamble_fails_below_threshold(self, n_flipped):
+        wave = self.waveform()
+        for chip in range(0, 2 * n_flipped, 2):  # every other preamble chip
+            wave[chip * SPC : (chip + 1) * SPC] *= -1.0
+        result = decode_fm0_response(wave, len(PAYLOAD), SPC)
+        assert result.correlation < 0.8
+        assert not result.success
+        assert result.bits == ()
+
+    def test_one_flipped_chip_still_decodes_preamble(self):
+        wave = self.waveform()
+        wave[:SPC] *= -1.0  # 11/12 chips intact: correlation ~ 10/12 < 0.8?
+        correlation, _ = correlate_preamble(wave, SPC)
+        # Whether this clears 0.8 is a property of the 12-chip preamble:
+        # one chip flip costs 2/12 of the correlation, landing at ~0.83.
+        assert correlation == pytest.approx(10.0 / 12.0, abs=0.05)
+
+    def test_injector_corruption_degrades_success(self):
+        wave = self.waveform()
+        injector = FaultInjector(bit_corruption(1.0), base_seed=5)
+        successes = 0
+        for trial in range(40):
+            result = decode_fm0_response(
+                wave, len(PAYLOAD), SPC, faults=injector, trial_index=trial
+            )
+            successes += int(result.success and result.bits == PAYLOAD)
+        assert 0 < successes < 40

@@ -203,3 +203,71 @@ class TestPlanCache:
             cache=cache,
         )
         assert cache.misses == 2
+
+
+class TestFaultTokenKeying:
+    """Fault plans must not share cache entries with healthy runs."""
+
+    def test_fault_token_is_part_of_the_key(self):
+        cache = PlanCache()
+        optimized_plan(
+            3, n_draws=8, n_candidates=4, refine_rounds=0, cache=cache
+        )
+        optimized_plan(
+            3,
+            n_draws=8,
+            n_candidates=4,
+            refine_rounds=0,
+            cache=cache,
+            fault_token="faults:deadbeef",
+        )
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_none_and_empty_plan_share_the_healthy_key(self):
+        from repro.faults.plan import EMPTY_PLAN
+
+        cache = PlanCache()
+        healthy = optimized_plan(
+            3, n_draws=8, n_candidates=4, refine_rounds=0, cache=cache
+        )
+        via_empty = optimized_plan(
+            3,
+            n_draws=8,
+            n_candidates=4,
+            refine_rounds=0,
+            cache=cache,
+            fault_token=EMPTY_PLAN.cache_token(),
+        )
+        assert via_empty is healthy
+        assert cache.hits == 1
+
+    def test_distinct_plans_get_distinct_entries(self):
+        from repro.faults.plan import pll_relock, tag_detuning
+
+        cache = PlanCache()
+        for plan in (pll_relock(0.5), tag_detuning(0.5)):
+            optimized_plan(
+                3,
+                n_draws=8,
+                n_candidates=4,
+                refine_rounds=0,
+                cache=cache,
+                fault_token=plan.cache_token(),
+            )
+        assert cache.misses == 2
+
+    def test_conduction_plan_keys_on_fault_token_too(self):
+        cache = PlanCache()
+        optimized_conduction_plan(
+            3, 0.5, n_draws=8, n_candidates=4, refine_rounds=0, cache=cache
+        )
+        optimized_conduction_plan(
+            3,
+            0.5,
+            n_draws=8,
+            n_candidates=4,
+            refine_rounds=0,
+            cache=cache,
+            fault_token="faults:deadbeef",
+        )
+        assert cache.misses == 2

@@ -51,3 +51,60 @@ class TestMapChunks:
                 lambda start, count: list(range(start, start + count)), 6
             )
         assert [v for part in parts for v in part] == list(range(6))
+
+
+def fail_in_worker_chunk(start: int, count: int):
+    """Fails only in pool workers (parent pid recorded via environ)."""
+    import os
+
+    if os.getpid() != int(os.environ.get("TEST_RUNNER_PARENT_PID", "-1")):
+        raise ValueError(f"worker boom at {start}")
+    return list(range(start, start + count))
+
+
+def always_fail_chunk(start: int, count: int):
+    raise ValueError(f"boom at {start}")
+
+
+@pytest.fixture
+def parent_pid_env(monkeypatch):
+    import os
+
+    monkeypatch.setenv("TEST_RUNNER_PARENT_PID", str(os.getpid()))
+
+
+class TestWorkerFailureRecovery:
+    def test_failed_chunk_retries_in_process(self, parent_pid_env):
+        from repro.obs.context import obs_context
+
+        runner = TrialRunner(workers=2, chunk_size=4)
+        with obs_context() as obs:
+            with pytest.warns(
+                RuntimeWarning, match="retrying once in-process"
+            ):
+                parts = runner.map_chunks(fail_in_worker_chunk, 8)
+        assert [v for part in parts for v in part] == list(range(8))
+        assert obs.metrics.counters()["runner.chunk_retries"] == 2
+
+    def test_warning_surfaces_worker_traceback(self, parent_pid_env):
+        runner = TrialRunner(workers=2, chunk_size=8)
+        with pytest.warns(RuntimeWarning, match="worker boom at 0"):
+            runner.map_chunks(fail_in_worker_chunk, 16)
+
+    def test_double_failure_raises_with_context(self):
+        from repro.errors import ChunkExecutionError
+
+        runner = TrialRunner(workers=2, chunk_size=4)
+        with pytest.warns(RuntimeWarning):
+            with pytest.raises(ChunkExecutionError) as info:
+                runner.map_chunks(always_fail_chunk, 8)
+        assert info.value.start == 0
+        assert info.value.count == 4
+        assert "boom at 0" in info.value.worker_traceback
+        assert isinstance(info.value.__cause__, ValueError)
+
+    def test_in_process_failures_propagate_unwrapped(self):
+        # The retry path is pool-only: workers=1 raises the original error.
+        runner = TrialRunner(workers=1, chunk_size=4)
+        with pytest.raises(ValueError, match="boom at 0"):
+            runner.map_chunks(always_fail_chunk, 8)

@@ -16,6 +16,7 @@ PUBLIC_MODULES = (
     "repro.core",
     "repro.em",
     "repro.experiments",
+    "repro.faults",
     "repro.gen2",
     "repro.harvester",
     "repro.reader",

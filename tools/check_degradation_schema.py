@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Sanity-check a degradation-tables JSON written by the experiments CLI.
+
+Usage::
+
+    python tools/check_degradation_schema.py TABLES.json
+
+Validates the ``--tables-out`` payload of the ``degradation`` experiment:
+the expected four fault tables are present, each passes
+``repro.faults.campaign.validate_degradation_dict``, and the antenna
+dropout table reproduces the N-1 law -- losing k of N branches lands at
+exactly (N - k)/N of the healthy aligned peak. Exits non-zero with each
+problem printed, so CI's fault-campaign smoke fails on schema drift or a
+broken degradation curve instead of shipping a stale table.
+
+Needs ``src`` on ``PYTHONPATH`` (or the package installed); the script
+adds the repository's ``src`` directory itself when run from a checkout.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+if _REPO_SRC.is_dir() and str(_REPO_SRC) not in sys.path:
+    sys.path.insert(0, str(_REPO_SRC))
+
+from repro.faults.campaign import validate_degradation_dict  # noqa: E402
+
+EXPECTED_TABLES = (
+    "antenna_dropout",
+    "pll_relock",
+    "tag_detuning",
+    "bit_corruption",
+)
+N_MINUS_ONE_TOLERANCE = 1e-6
+
+
+def check_tables(payload: dict) -> list:
+    """Problems found in a ``--tables-out`` payload."""
+    problems = []
+    experiments = payload.get("experiments")
+    if not isinstance(experiments, dict) or "degradation" not in experiments:
+        return ["payload has no experiments.degradation entry"]
+    tables = experiments["degradation"].get("tables")
+    if not isinstance(tables, dict):
+        return ["degradation entry has no tables object"]
+    for name in EXPECTED_TABLES:
+        if name not in tables:
+            problems.append(f"missing table {name!r}")
+            continue
+        try:
+            validate_degradation_dict(tables[name])
+        except ValueError as exc:
+            problems.append(f"table {name!r}: {exc}")
+    return problems
+
+
+def check_n_minus_one(payload: dict) -> list:
+    """The dropout table must match (N - k)/N at every severity."""
+    try:
+        table = payload["experiments"]["degradation"]["tables"][
+            "antenna_dropout"
+        ]
+    except (KeyError, TypeError):
+        return []  # already reported by check_tables
+    problems = []
+    baseline = table.get("baseline", 0.0)
+    if baseline <= 0.0:
+        return ["antenna_dropout: non-positive baseline"]
+    n = round(baseline)  # aligned peak of N unit branches is exactly N
+    for severity, value in zip(table["severities"], table["values"]):
+        k = round(severity)
+        expected = (n - k) / n
+        relative = value / baseline
+        if abs(relative - expected) > N_MINUS_ONE_TOLERANCE:
+            problems.append(
+                f"antenna_dropout: k={k} relative peak {relative:.6f} "
+                f"!= (N-k)/N = {expected:.6f}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("tables", type=Path, help="--tables-out JSON file")
+    args = parser.parse_args(argv)
+
+    try:
+        payload = json.loads(args.tables.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"unreadable tables file: {exc}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for problem in check_tables(payload) + check_n_minus_one(payload):
+        print(f"degradation: {problem}", file=sys.stderr)
+        failures += 1
+    if failures:
+        print(f"{failures} schema problem(s) found", file=sys.stderr)
+        return 1
+    print("degradation tables OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
