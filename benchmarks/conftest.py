@@ -36,6 +36,22 @@ def _search_candidates() -> int:
     return int(current_obs().metrics.counter("search.candidates_scored").value)
 
 
+_KERNEL_COUNTERS = (
+    "kernels.rectifier_samples",
+    "kernels.hysteresis_samples",
+    "kernels.capture_samples",
+    "kernels.ber_chips",
+)
+
+
+def _kernel_samples() -> int:
+    """Total samples the vectorized time-domain kernels have processed."""
+    from repro.obs.context import current_obs
+
+    metrics = current_obs().metrics
+    return int(sum(metrics.counter(name).value for name in _KERNEL_COUNTERS))
+
+
 def run_once(benchmark, fn):
     """Execute ``fn`` exactly once under the benchmark timer.
 
@@ -45,11 +61,13 @@ def run_once(benchmark, fn):
     """
     trials_before = _engine_trials()
     candidates_before = _search_candidates()
+    kernel_before = _kernel_samples()
     start = time.perf_counter()
     result = benchmark.pedantic(fn, iterations=1, rounds=1)
     wall_s = time.perf_counter() - start
     trials = _engine_trials() - trials_before
     candidates = _search_candidates() - candidates_before
+    kernel_samples = _kernel_samples() - kernel_before
     _RUNTIME_ROWS.append(
         {
             "bench": benchmark.name,
@@ -62,6 +80,12 @@ def run_once(benchmark, fn):
             "search_candidates_per_s": (
                 round(candidates / wall_s, 1)
                 if wall_s > 0 and candidates
+                else 0.0
+            ),
+            "kernel_samples": kernel_samples,
+            "kernel_samples_per_s": (
+                round(kernel_samples / wall_s, 1)
+                if wall_s > 0 and kernel_samples
                 else 0.0
             ),
         }

@@ -36,6 +36,9 @@ class BerConfig:
         averaging_periods: Extra curve: FM0 with M-period averaging.
         seed: Experiment seed.
         workers: Worker processes for the per-word chunks.
+        use_kernels: Count errors through the block-decision kernel
+            (:func:`repro.kernels.ber_block`, bit-identical to the scalar
+            chunk); False forces the per-word reference.
     """
 
     snr_db_points: Tuple[float, ...] = (-12.0, -9.0, -6.0, -3.0, 0.0, 3.0)
@@ -45,6 +48,7 @@ class BerConfig:
     averaging_periods: int = 10
     seed: int = 54
     workers: int = 1
+    use_kernels: bool = True
 
     @classmethod
     def fast(cls) -> "BerConfig":
@@ -156,11 +160,17 @@ def run(config: BerConfig = BerConfig()) -> BerResult:
         curves[scheme] = []
 
     runner = TrialRunner(workers=config.workers)
+    if config.use_kernels:
+        from repro.kernels import ber_block
+
+        chunk_fn = ber_block
+    else:
+        chunk_fn = _word_errors_chunk
     for snr_db in config.snr_db_points:
         noise_std = float(10.0 ** (-snr_db / 20.0))  # signal amplitude = 1
         total_bits = config.n_words * 16
         fn = partial(
-            _word_errors_chunk,
+            chunk_fn,
             seed=config.seed + abs(int(snr_db * 10)) * 2 + (snr_db < 0),
             n_words=config.n_words,
             noise_std=noise_std,

@@ -7,9 +7,16 @@ runs the time-domain rectifier + power-management model over repeated CIB
 periods and reports how long a sensor at each depth needs before its
 first response -- the latency cost of operating near the edge of the
 power-up region.
+
+Two execution paths produce bit-identical rows: the default batched path
+fans :func:`repro.runtime.engine.wakeup_latency_chunk` across a
+:class:`~repro.runtime.runner.TrialRunner` (all depths' trials in
+``(rows, T)`` blocks through the vectorized rectifier kernel), and the
+legacy per-trial loop kept as the pinned reference.
 """
 
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -19,9 +26,13 @@ from repro.constants import TANK_STANDOFF_RANGE_M
 from repro.core import waveform
 from repro.core.optimizer import envelope_series_fft
 from repro.core.plan import paper_plan
+from repro.em.channel import BlindChannel
 from repro.em.media import WATER
 from repro.em.phantoms import WaterTankPhantom
 from repro.experiments.report import Table
+from repro.faults.plan import FaultPlan
+from repro.runtime import engine as engine_mod
+from repro.runtime.runner import TrialRunner
 from repro.sensors.sensor import BatteryFreeSensor
 from repro.sensors.tags import standard_tag_spec
 
@@ -38,6 +49,11 @@ class WakeupConfig:
         max_periods: Charging budget (seconds of CIB operation).
         envelope_rate_hz: Envelope sampling rate for the rectifier sim.
         seed: Experiment seed.
+        workers: Worker processes for the batched path.
+        use_kernels: Run the batched kernel path (bit-identical to the
+            legacy loop); False forces the per-trial reference.
+        fault_plan: Optional fault plan perturbing each trial's carriers
+            and harvested voltage; an empty plan matches None bit for bit.
     """
 
     depths_m: Tuple[float, ...] = (0.05, 0.10, 0.15, 0.20, 0.24)
@@ -47,6 +63,9 @@ class WakeupConfig:
     max_periods: int = 5
     envelope_rate_hz: float = 20e3
     seed: int = 52
+    workers: int = 1
+    use_kernels: bool = True
+    fault_plan: Optional[FaultPlan] = None
 
     @classmethod
     def fast(cls) -> "WakeupConfig":
@@ -82,6 +101,17 @@ class WakeupResult:
         raise KeyError(f"depth {depth_m} not in the sweep")
 
 
+def _tank_channel(
+    rng: np.random.Generator,
+    depth_m: float,
+    n_antennas: int,
+    center_frequency_hz: float,
+) -> BlindChannel:
+    """The experiment's water-tank channel (picklable chunk factory)."""
+    tank = WaterTankPhantom(standoff_m=TANK_STANDOFF_RANGE_M)
+    return tank.channel(n_antennas, depth_m, center_frequency_hz, rng=rng)
+
+
 def _field_envelope(
     offsets_hz: np.ndarray,
     betas: np.ndarray,
@@ -111,12 +141,19 @@ def _trial_latency(
     config: WakeupConfig,
     depth_m: float,
     rng: np.random.Generator,
+    injector=None,
+    trial_index: int = 0,
 ) -> Optional[float]:
-    """Wake-up latency of one placement (None when it never wakes)."""
+    """Wake-up latency of one placement (None when it never wakes).
+
+    This is the pinned scalar reference the batched
+    :func:`repro.runtime.engine.wakeup_latency_chunk` must reproduce bit
+    for bit. ``injector`` / ``trial_index`` apply the same per-trial fault
+    realization the chunk applies (keyed by the absolute trial index).
+    """
     plan = paper_plan().subset(config.n_antennas)
-    tank = WaterTankPhantom(standoff_m=TANK_STANDOFF_RANGE_M)
-    channel = tank.channel(
-        config.n_antennas, depth_m, plan.center_frequency_hz, rng=rng
+    channel = _tank_channel(
+        rng, depth_m, config.n_antennas, plan.center_frequency_hz
     )
     realization = channel.realize(rng)
     gains = realization.gains
@@ -130,24 +167,87 @@ def _trial_latency(
     )
     dt = 1.0 / config.envelope_rate_hz
     n_samples = int(config.max_periods * config.envelope_rate_hz)
+    offsets = plan.offsets_array()
+    voltage_scale = None
+    if injector is not None:
+        perturbed = injector.perturb_trial(
+            trial_index, offsets, betas, amplitudes
+        )
+        offsets = perturbed.offsets_hz
+        betas = perturbed.betas
+        amplitudes = perturbed.amplitudes
+        voltage_scale = perturbed.voltage_scale
     field_envelope = _field_envelope(
-        plan.offsets_array(), betas, n_samples, dt, amplitudes
+        offsets, betas, n_samples, dt, amplitudes
     )
     # Field -> rectifier input voltage, via the medium-aware front end.
     scale = sensor.input_voltage_from_field(1.0, WATER, plan.center_frequency_hz)
     voltage_envelope = scale * field_envelope
+    if voltage_scale is not None:
+        voltage_envelope = voltage_envelope * voltage_scale
     result = sensor.evaluate_power_envelope(voltage_envelope, dt)
     return result.time_to_power_up_s
 
 
-def run(config: WakeupConfig = WakeupConfig()) -> WakeupResult:
+def _rows_from_latencies(
+    config: WakeupConfig, latencies: np.ndarray
+) -> List[Tuple[float, Optional[float], float]]:
+    """Fold a flat (depth-major) latency vector into result rows."""
     rows: List[Tuple[float, Optional[float], float]] = []
-    for depth in config.depths_m:
-        latencies: List[Optional[float]] = []
-        for rng in spawn_rngs(config.seed + int(depth * 1e4), config.n_trials):
-            latencies.append(_trial_latency(config, depth, rng))
-        woke = [value for value in latencies if value is not None]
-        fraction = len(woke) / len(latencies)
-        median = float(np.median(woke)) if woke else None
+    for depth_index, depth in enumerate(config.depths_m):
+        block = latencies[
+            depth_index * config.n_trials : (depth_index + 1) * config.n_trials
+        ]
+        woke = block[~np.isnan(block)]
+        fraction = woke.size / block.size
+        median = float(np.median(woke)) if woke.size else None
         rows.append((depth, median, fraction))
-    return WakeupResult(rows=rows)
+    return rows
+
+
+def run(config: WakeupConfig = WakeupConfig()) -> WakeupResult:
+    if config.use_kernels:
+        plan = paper_plan().subset(config.n_antennas)
+        chunk_fn = partial(
+            engine_mod.wakeup_latency_chunk,
+            plan=plan,
+            depths_m=tuple(config.depths_m),
+            n_trials_per_depth=config.n_trials,
+            channel_factory=partial(
+                _tank_channel,
+                n_antennas=config.n_antennas,
+                center_frequency_hz=plan.center_frequency_hz,
+            ),
+            eirp_per_branch_w=config.eirp_per_branch_w,
+            tag_spec=standard_tag_spec(),
+            medium_at_tag=WATER,
+            envelope_rate_hz=config.envelope_rate_hz,
+            max_periods=config.max_periods,
+            seed=config.seed,
+            fault_plan=config.fault_plan,
+        )
+        runner = TrialRunner(workers=config.workers)
+        chunks = runner.map_chunks(
+            chunk_fn,
+            len(config.depths_m) * config.n_trials,
+            label="wakeup.chunk",
+        )
+        return WakeupResult(
+            rows=_rows_from_latencies(config, np.concatenate(chunks))
+        )
+
+    injector = engine_mod._fault_injector(config.fault_plan, config.seed)
+    latencies = np.full(len(config.depths_m) * config.n_trials, np.nan)
+    for depth_index, depth in enumerate(config.depths_m):
+        rngs = spawn_rngs(config.seed + int(depth * 1e4), config.n_trials)
+        for trial, rng in enumerate(rngs):
+            value = _trial_latency(
+                config,
+                depth,
+                rng,
+                injector=injector,
+                trial_index=depth_index * config.n_trials + trial,
+            )
+            if value is not None:
+                latencies[depth_index * config.n_trials + trial] = value
+    return WakeupResult(rows=_rows_from_latencies(config, latencies))

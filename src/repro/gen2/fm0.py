@@ -157,7 +157,7 @@ def waveform_to_chips(
         raise DecodingError("waveform shorter than one chip")
     trimmed = data[: n_chips * samples_per_chip]
     means = trimmed.reshape(n_chips, samples_per_chip).mean(axis=1)
-    return tuple(int(value > 0.0) for value in means)
+    return tuple(np.where(means > 0.0, 1, 0).tolist())
 
 
 def symbol_duration_s(backscatter_link_frequency_hz: float) -> float:

@@ -6,6 +6,7 @@ subcarrier with M cycles per bit. Readers trade data rate for robustness
 by asking tags for higher M -- useful at the low SNRs of deep-tissue links.
 """
 
+from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -55,16 +56,13 @@ def encode_waveform(
         raise ProtocolError("need >= 1 sample per subcarrier half-cycle")
     halfbits = miller_baseband_halfbits(bits)
     spc = samples_per_subcarrier_halfcycle
-    # One half-bit spans m/2 * 2 = m subcarrier half-cycles.
-    subcarrier_halfcycles_per_halfbit = m
-    pieces: List[np.ndarray] = []
-    subcarrier_phase = 0
-    for level in halfbits:
-        for _ in range(subcarrier_halfcycles_per_halfbit):
-            chip = level ^ subcarrier_phase
-            pieces.append(np.full(spc, 1.0 if chip else -1.0))
-            subcarrier_phase ^= 1
-    return np.concatenate(pieces)
+    # One half-bit spans m/2 * 2 = m subcarrier half-cycles. Expand the
+    # levels to half-cycle resolution, XOR with the alternating subcarrier
+    # phase, and repeat to sample resolution -- no per-half-cycle loop.
+    levels = np.repeat(np.asarray(halfbits, dtype=int), m)
+    subcarrier = np.arange(levels.size) % 2
+    chips = levels ^ subcarrier
+    return np.repeat(np.where(chips == 1, 1.0, -1.0), spc)
 
 
 def decode_waveform(
@@ -140,20 +138,24 @@ def _decode_with_polarity(
     return tuple(bits), total_score
 
 
+@lru_cache(maxsize=64)
 def _halfbits_to_samples(
-    halfbits: Sequence[int], m: int, spc: int
+    halfbits: Tuple[int, ...], m: int, spc: int
 ) -> np.ndarray:
-    """Expand two half-bits into +/-1 samples with the running subcarrier."""
-    pieces: List[np.ndarray] = []
+    """Expand two half-bits into +/-1 samples with the running subcarrier.
+
+    Only four half-bit patterns exist per (m, spc), and the greedy decoder
+    rebuilds one for every bit hypothesis, so the templates are cached
+    (read-only arrays) instead of reallocated per call.
+    """
     # Subcarrier phase is continuous across bits: each bit consumes 2*m
     # half-cycles, an even count, so each bit starts at phase 0.
-    subcarrier_phase = 0
-    for level in halfbits:
-        for _ in range(m):
-            chip = level ^ subcarrier_phase
-            pieces.append(np.full(spc, 1.0 if chip else -1.0))
-            subcarrier_phase ^= 1
-    return np.concatenate(pieces)
+    levels = np.repeat(np.asarray(halfbits, dtype=int), m)
+    subcarrier = np.arange(levels.size) % 2
+    chips = levels ^ subcarrier
+    samples = np.repeat(np.where(chips == 1, 1.0, -1.0), spc)
+    samples.setflags(write=False)
+    return samples
 
 
 def bit_duration_s(blf_hz: float, m: int) -> float:

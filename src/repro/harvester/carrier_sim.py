@@ -123,9 +123,7 @@ class DicksonPump:
                 node = vin + coupling[stage] + previous_dc
                 # D1: charges the coupling cap while the node is below the
                 # previous stage's DC level (the negative half-cycle path).
-                d1_current = float(
-                    self.diode.current(np.array([previous_dc - node]))[0]
-                )
+                d1_current = self.diode.current_scalar(previous_dc - node)
                 coupling[stage] += d1_current * dt_s / c_couple
                 node = vin + coupling[stage] + previous_dc
                 # D2: forwards charge to the output when the boosted node
@@ -134,9 +132,7 @@ class DicksonPump:
                 target = output if stage == self.n_stages - 1 else (
                     previous_dc + coupling[stage]
                 )
-                d2_current = float(
-                    self.diode.current(np.array([node - target]))[0]
-                )
+                d2_current = self.diode.current_scalar(node - target)
                 if stage == self.n_stages - 1:
                     output += d2_current * dt_s / c_store
                     coupling[stage] -= d2_current * dt_s / c_couple

@@ -60,6 +60,12 @@ def conduction_angle_rad(
     return 2.0 * math.acos(threshold_v / input_amplitude_v)
 
 
+_EFFICIENCY_COS = np.cos(np.linspace(0.0, 2.0 * math.pi, 4096, endpoint=False))
+_EFFICIENCY_COS.setflags(write=False)
+"""Carrier-cycle cosine grid of :func:`harvesting_efficiency`, built once
+(the function sits in power-sweep inner loops)."""
+
+
 def harvesting_efficiency(
     input_amplitude_v: float, threshold_v: float = DIODE_THRESHOLD_V
 ) -> float:
@@ -72,8 +78,7 @@ def harvesting_efficiency(
     """
     if input_amplitude_v <= threshold_v or input_amplitude_v == 0.0:
         return 0.0
-    theta = np.linspace(0.0, 2.0 * math.pi, 4096, endpoint=False)
-    instantaneous = input_amplitude_v * np.cos(theta)
+    instantaneous = input_amplitude_v * _EFFICIENCY_COS
     conducting = instantaneous > threshold_v
     delivered = np.mean(
         np.where(conducting, (instantaneous - threshold_v) * instantaneous, 0.0)

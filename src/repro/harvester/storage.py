@@ -40,7 +40,22 @@ class PowerManager:
 
         Implements the hysteresis: the chip turns on when the trace crosses
         ``operate_voltage_v`` upward and stays on until it falls below
-        ``brownout_voltage_v``.
+        ``brownout_voltage_v``. Delegates to the closed-form kernel; the
+        sample-by-sample recurrence lives in :meth:`powered_mask_scalar`
+        as the pinned reference.
+        """
+        from repro.kernels import hysteresis_mask_batch
+
+        trace = np.asarray(voltage_trace, dtype=float)
+        return hysteresis_mask_batch(
+            trace, self.operate_voltage_v, self.brownout_voltage_v
+        )
+
+    def powered_mask_scalar(self, voltage_trace: np.ndarray) -> np.ndarray:
+        """Reference implementation of :meth:`powered_mask` (per-sample loop).
+
+        Kept as the pinned equivalence oracle for the vectorized kernel --
+        parity tests assert the two are bit-identical on arbitrary traces.
         """
         trace = np.asarray(voltage_trace, dtype=float)
         mask = np.empty(trace.size, dtype=bool)

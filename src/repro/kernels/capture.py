@@ -1,0 +1,120 @@
+"""Batched multi-period reader capture.
+
+:func:`capture_batch` replicates the period loop of
+:meth:`repro.reader.out_of_band.OutOfBandReader.capture_response` --
+SAW filter, thermal noise, AGC + ADC quantization per period, coherent
+average -- with all the per-period math stacked into ``(P, T)`` arrays.
+
+Bit-identity with the scalar loop rests on three facts. First, a numpy
+``Generator`` fills arrays in C order, so one ``normal(size=(P, 2, T))``
+call consumes the bitstream exactly like ``P`` sequential pairs of
+``normal(size=T)`` calls. Second, every per-period operation in the chain
+is elementwise (or a per-row reduction), so evaluating it on the stacked
+block applies the identical IEEE-754 operations to the identical values.
+Third, complex addition and multiplication by a real value are
+componentwise on (I, Q), so this module carries the two components as
+separate real arrays -- which also lets it skip quantizing the Q
+component, whose quantized value the scalar loop computes and then
+discards when it averages only the real part. The only wrinkle is
+jamming: the scalar loop draws a uniform jam phase *between* the two
+noise draws of each period, so the jammed path keeps a per-period loop
+for the draws alone (three C-speed RNG calls per period) while the
+arithmetic stays batched.
+
+The AGC normally scales each period by ``agc_target * full_scale / peak``;
+a period with zero peak is passed to the quantizer unscaled, which the
+batched path reproduces with a gain of exactly ``1.0`` (multiplying and
+dividing by 1.0 are exact in IEEE-754).
+"""
+
+import math
+
+import numpy as np
+
+from repro.obs.context import current_obs
+
+
+def capture_batch(
+    chain,
+    signal: np.ndarray,
+    n_periods: int,
+    rng: np.random.Generator,
+    jam_amplitude_v: float = 0.0,
+    beamformer_frequency_hz: float = 915e6,
+    agc_target: float = 0.5,
+) -> np.ndarray:
+    """Coherently averaged real waveform of ``n_periods`` receptions.
+
+    Args:
+        chain: A :class:`repro.rf.receiver.ReceiveChain`-shaped object
+            (``saw``, ``tuned_frequency_hz``, ``noise_std()``, ``adc``).
+        signal: Complex baseband samples of one period (amplitude already
+            applied), shape ``(T,)``.
+        n_periods: Periods to receive and average.
+        rng: The trial's generator; consumed exactly as the scalar
+            period loop consumes it.
+        jam_amplitude_v: Pre-filter jam amplitude; 0 disables jamming.
+        beamformer_frequency_hz: Carrier of the jam, for the SAW stopband.
+        agc_target: Per-period AGC target (see ``ReceiveChain.receive``).
+
+    Returns:
+        The ``(T,)`` mean of the per-period real parts -- the scalar
+        loop's ``coherent_average`` output, before any DC blocking.
+    """
+    if n_periods < 1:
+        raise ValueError(f"need >= 1 period, got {n_periods}")
+    signal = np.asarray(signal, dtype=complex)
+    if signal.ndim != 1 or signal.size == 0:
+        raise ValueError("signal must be non-empty 1-D")
+    n_samples = signal.size
+    base = signal * chain.saw.amplitude_response(chain.tuned_frequency_hz)
+    base_i = np.ascontiguousarray(base.real)
+    base_q = np.ascontiguousarray(base.imag)
+
+    if jam_amplitude_v > 0:
+        # Per-period draw order is uniform phase, then the two noise
+        # components; replicate it draw for draw.
+        phases = np.empty(n_periods)
+        draws = np.empty((n_periods, 2, n_samples))
+        for period in range(n_periods):
+            phases[period] = rng.uniform(0.0, 2.0 * math.pi)
+            draws[period, 0] = rng.normal(size=n_samples)
+            draws[period, 1] = rng.normal(size=n_samples)
+        jam_values = (jam_amplitude_v * np.exp(1j * phases)) * (
+            chain.saw.amplitude_response(beamformer_frequency_hz)
+        )
+        in_phase = base_i[None, :] + jam_values.real[:, None]
+        quadrature = base_q[None, :] + jam_values.imag[:, None]
+    else:
+        draws = rng.normal(size=(n_periods, 2, n_samples))
+        in_phase = np.broadcast_to(base_i, (n_periods, n_samples))
+        quadrature = np.broadcast_to(base_q, (n_periods, n_samples))
+
+    factor = chain.noise_std() / math.sqrt(2.0)
+    in_phase = in_phase + factor * draws[:, 0]
+    quadrature = quadrature + factor * draws[:, 1]
+
+    adc = getattr(chain, "adc", None)
+    if adc is not None:
+        peaks = np.maximum(
+            np.max(np.abs(in_phase), axis=1),
+            np.max(np.abs(quadrature), axis=1),
+        )
+        gains = np.ones(n_periods)
+        if agc_target > 0:
+            scalable = peaks > 0
+            np.divide(
+                agc_target * adc.full_scale, peaks,
+                out=gains, where=scalable,
+            )
+        column = gains[:, None]
+        # The scalar loop divides a *complex* array by the real gain, and
+        # numpy's complex division (Smith's algorithm) computes that as
+        # a * (1/gain) -- two roundings, not one. Match it exactly.
+        in_phase = adc.quantize_real(in_phase * column) * (1.0 / column)
+
+    averaged = np.mean(in_phase, axis=0)
+    current_obs().metrics.counter("kernels.capture_samples").inc(
+        n_periods * n_samples
+    )
+    return averaged

@@ -138,8 +138,71 @@ class OutOfBandReader:
 
         Each period's capture passes through the receive chain (SAW, noise,
         ADC) with the residual jam injected out-of-band; the periods are
-        then coherently averaged.
+        then coherently averaged. The per-period math runs through the
+        batched kernel; :meth:`capture_response_scalar` keeps the original
+        loop as the pinned bit-identical reference.
         """
+        from repro.kernels import capture_batch
+
+        signal, jam_amplitude = self._capture_inputs(
+            response_waveform, amplitude_v, n_periods, jamming
+        )
+        averaged = capture_batch(
+            self.chain,
+            signal,
+            n_periods,
+            rng,
+            jam_amplitude_v=jam_amplitude,
+            beamformer_frequency_hz=beamformer_frequency_hz,
+        )
+        return self._finish_capture(averaged, amplitude_v, n_periods)
+
+    def capture_response_scalar(
+        self,
+        response_waveform: np.ndarray,
+        amplitude_v: float,
+        n_periods: int,
+        rng: np.random.Generator,
+        jamming: Optional[JammingEstimate] = None,
+        beamformer_frequency_hz: float = 915e6,
+    ) -> ReaderCapture:
+        """Reference implementation of :meth:`capture_response`.
+
+        One receive-chain pass per period, exactly as the batched kernel
+        must reproduce bit-for-bit -- parity tests pin the two together.
+        """
+        signal, jam_amplitude = self._capture_inputs(
+            response_waveform, amplitude_v, n_periods, jamming
+        )
+        template_size = signal.size
+        captures: List[np.ndarray] = []
+        for _ in range(n_periods):
+            jam = None
+            if jam_amplitude > 0:
+                # The jam is a CW-like interferer with a random phase and
+                # slow envelope; within one response window treat it flat.
+                phase = rng.uniform(0.0, 2.0 * math.pi)
+                jam = jam_amplitude * np.exp(1j * phase) * np.ones(
+                    template_size, dtype=complex
+                )
+            received = self.chain.receive(
+                signal,
+                rng,
+                out_of_band=jam,
+                out_of_band_frequency_hz=beamformer_frequency_hz,
+            )
+            captures.append(np.real(received))
+        averaged = coherent_average(captures)
+        return self._finish_capture(averaged, amplitude_v, n_periods)
+
+    def _capture_inputs(
+        self,
+        response_waveform: np.ndarray,
+        amplitude_v: float,
+        n_periods: int,
+        jamming: Optional[JammingEstimate],
+    ) -> Tuple[np.ndarray, float]:
+        """Validate a capture request; return (complex signal, jam amplitude)."""
         if n_periods < 1:
             raise ConfigurationError(f"need >= 1 period, got {n_periods}")
         template = np.asarray(response_waveform, dtype=float)
@@ -153,24 +216,11 @@ class OutOfBandReader:
             jam_amplitude = math.sqrt(
                 2.0 * jamming.peak_power_w * self.chain.reference_ohms
             )
-        captures: List[np.ndarray] = []
-        for _ in range(n_periods):
-            jam = None
-            if jam_amplitude > 0:
-                # The jam is a CW-like interferer with a random phase and
-                # slow envelope; within one response window treat it flat.
-                phase = rng.uniform(0.0, 2.0 * math.pi)
-                jam = jam_amplitude * np.exp(1j * phase) * np.ones(
-                    template.size, dtype=complex
-                )
-            received = self.chain.receive(
-                signal,
-                rng,
-                out_of_band=jam,
-                out_of_band_frequency_hz=beamformer_frequency_hz,
-            )
-            captures.append(np.real(received))
-        averaged = coherent_average(captures)
+        return signal, jam_amplitude
+
+    def _finish_capture(
+        self, averaged: np.ndarray, amplitude_v: float, n_periods: int
+    ) -> ReaderCapture:
         # DC block: the residual jam and carrier leak are CW within the
         # response window; removing the mean strips them while the bipolar
         # FM0 payload is unaffected.

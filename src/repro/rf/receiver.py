@@ -77,18 +77,19 @@ class AnalogToDigitalConverter:
         """Quantization step size."""
         return self.full_scale / self._levels
 
+    def quantize_real(self, samples: np.ndarray) -> np.ndarray:
+        """Quantize one real component, with clipping."""
+        codes = np.clip(
+            np.round(samples / self.step), -self._levels, self._levels - 1
+        )
+        return codes * self.step
+
     def quantize(self, samples: np.ndarray) -> np.ndarray:
         """Quantize complex samples (I and Q independently), with clipping."""
         samples = np.asarray(samples, dtype=complex)
-        max_code = self._levels - 1
-
-        def _component(x: np.ndarray) -> np.ndarray:
-            codes = np.clip(
-                np.round(x / self.step), -self._levels, max_code
-            )
-            return codes * self.step
-
-        return _component(samples.real) + 1j * _component(samples.imag)
+        return self.quantize_real(samples.real) + 1j * self.quantize_real(
+            samples.imag
+        )
 
     def saturates(self, samples: np.ndarray) -> bool:
         """True when any sample exceeds full scale (receiver saturation).

@@ -44,11 +44,16 @@ from repro.core.baselines import (
     CIBTransmitter,
     TransmitterStrategy,
 )
-from repro.core.optimizer import peak_amplitudes_fft, validate_offset_bins
+from repro.core.optimizer import (
+    envelope_series_fft,
+    peak_amplitudes_fft,
+    validate_offset_bins,
+)
 from repro.core.plan import CarrierPlan
 from repro.em.channel import BlindChannel
 from repro.em.media import Medium
 from repro.harvester.tag_power import HarvesterFrontEnd
+from repro.kernels import rectifier_batch
 from repro.obs.context import current_obs
 from repro.sensors.tags import TagSpec
 
@@ -473,6 +478,164 @@ def power_up_chunk(
         if voltage >= threshold:
             successes += 1
     return successes
+
+
+def _envelope_block(
+    offsets: np.ndarray,
+    betas: np.ndarray,
+    n_samples: int,
+    dt_s: float,
+    amplitudes: np.ndarray,
+) -> np.ndarray:
+    """Multi-period field envelopes, shape ``(rows, n_samples)``.
+
+    Sparse-spectrum FFT when every carrier lands on an integer bin of the
+    ``n_samples`` grid (one inverse FFT for the whole block, bitwise equal
+    to evaluating rows one at a time), else the direct evaluation row by
+    row -- mirroring the scalar experiment's fallback exactly.
+    """
+    betas = np.atleast_2d(betas)
+    amplitudes = np.atleast_2d(amplitudes)
+    duration_s = n_samples * dt_s
+    try:
+        return envelope_series_fft(
+            offsets, betas, n_samples, duration_s, amplitudes
+        )
+    except ValueError:
+        t = np.arange(n_samples) * dt_s
+        return np.vstack(
+            [
+                waveform.envelope(offsets, betas[row], t, amplitudes[row])
+                for row in range(betas.shape[0])
+            ]
+        )
+
+
+def wakeup_latency_chunk(
+    start: int,
+    count: int,
+    plan: CarrierPlan,
+    depths_m: Tuple[float, ...],
+    n_trials_per_depth: int,
+    channel_factory: Callable[[np.random.Generator, float], BlindChannel],
+    eirp_per_branch_w: float,
+    tag_spec: TagSpec,
+    medium_at_tag: Medium,
+    envelope_rate_hz: float,
+    max_periods: int,
+    seed: int,
+    fault_plan: Optional["FaultPlan"] = None,
+) -> np.ndarray:
+    """Wake-up latencies of global trials ``[start, start + count)``.
+
+    The global trial index enumerates the depth sweep row-major: trial
+    ``i`` is depth ``depths_m[i // n_trials_per_depth]``, draw
+    ``i % n_trials_per_depth``. Each depth re-derives its generators from
+    ``spawn_rngs(seed + int(depth * 1e4), n_trials_per_depth)`` -- the
+    exact seeding of the legacy per-depth loop -- so results are
+    bit-identical across chunk sizes and worker counts.
+
+    Returns a ``(count,)`` float array of latencies in seconds, with NaN
+    marking trials that never reach the operating voltage. A non-empty
+    ``fault_plan`` perturbs each trial's carriers and scales the harvested
+    voltage (keyed by the absolute trial index); an empty plan is
+    bit-identical to omitting it.
+    """
+    obs = current_obs()
+    if eirp_per_branch_w <= 0:
+        raise ValueError("EIRP must be positive")
+    if n_trials_per_depth < 1:
+        raise ValueError("need >= 1 trial per depth")
+    total = len(depths_m) * n_trials_per_depth
+    if not 0 <= start <= start + count <= total:
+        raise ValueError(
+            f"trials [{start}, {start + count}) outside [0, {total})"
+        )
+    injector = _fault_injector(fault_plan, seed)
+    obs.metrics.counter("trials.processed").inc(count)
+    offsets = plan.offsets_array()
+    n_antennas = plan.n_antennas
+    field_scale = np.sqrt(60.0 * eirp_per_branch_w)
+    dt_s = 1.0 / envelope_rate_hz
+    n_samples = int(max_periods * envelope_rate_hz)
+
+    betas = np.empty((count, n_antennas))
+    amplitudes = np.empty((count, n_antennas))
+    with obs.stage_span("wakeup.realize", trials=count, start=start):
+        for depth_index, depth in enumerate(depths_m):
+            lo = max(start, depth_index * n_trials_per_depth)
+            hi = min(start + count, (depth_index + 1) * n_trials_per_depth)
+            if lo >= hi:
+                continue
+            rngs = spawn_rngs(seed + int(depth * 1e4), n_trials_per_depth)[
+                lo - depth_index * n_trials_per_depth :
+                hi - depth_index * n_trials_per_depth
+            ]
+            for offset, rng in enumerate(rngs):
+                row = lo - start + offset
+                channel = channel_factory(rng, depth)
+                realization = channel.realize(rng)
+                gains = realization.gains
+                if gains.size != n_antennas:
+                    raise ValueError(
+                        f"channel produced {gains.size} antennas but the "
+                        f"plan has {n_antennas}; the batched runtime needs "
+                        "them to match"
+                    )
+                betas[row] = rng.uniform(
+                    0.0, _TWO_PI, gains.size
+                ) + np.angle(gains)
+                amplitudes[row] = field_scale * np.abs(gains)
+                # The scalar path builds a BatteryFreeSensor here, whose
+                # EPC consumes one 96-bit draw; replicate it (value unused)
+                # to keep the per-trial stream aligned.
+                rng.integers(0, 2, 96)
+
+    with obs.stage_span("wakeup.evaluate", trials=count):
+        voltage_scales = None
+        if injector is not None:
+            # Reference-holdover drift perturbs each trial's offsets, so
+            # the shared-bin FFT block no longer exists: evaluate row by
+            # row on the perturbed carriers, keyed by absolute index.
+            fields = np.empty((count, n_samples))
+            voltage_scales = np.ones(count)
+            for row in range(count):
+                perturbed = injector.perturb_trial(
+                    start + row, offsets, betas[row], amplitudes[row]
+                )
+                fields[row] = _envelope_block(
+                    perturbed.offsets_hz,
+                    perturbed.betas,
+                    n_samples,
+                    dt_s,
+                    perturbed.amplitudes,
+                )[0]
+                voltage_scales[row] = perturbed.voltage_scale
+            obs.metrics.counter("faults.fault_trials").inc(count)
+        else:
+            fields = _envelope_block(
+                offsets, betas, n_samples, dt_s, amplitudes
+            )
+        front_end = HarvesterFrontEnd(
+            antenna=tag_spec.antenna,
+            chip_resistance_ohms=tag_spec.chip_resistance_ohms,
+            liquid_aperture_factor=tag_spec.liquid_aperture_factor,
+        )
+        input_scale = front_end.input_voltage_amplitude_v(
+            1.0, medium_at_tag, plan.center_frequency_hz
+        )
+        voltages = input_scale * fields
+        if voltage_scales is not None:
+            voltages = voltages * voltage_scales[:, None]
+        traces = rectifier_batch(
+            voltages,
+            dt_s,
+            n_stages=tag_spec.n_stages,
+            threshold_v=tag_spec.threshold_v,
+        )
+    reached = traces >= tag_spec.operate_voltage_v
+    first_index = reached.argmax(axis=1).astype(float)
+    return np.where(reached.any(axis=1), first_index * dt_s, np.nan)
 
 
 def strategy_gain_chunk(

@@ -19,6 +19,7 @@ PUBLIC_MODULES = (
     "repro.faults",
     "repro.gen2",
     "repro.harvester",
+    "repro.kernels",
     "repro.reader",
     "repro.rf",
     "repro.runtime",
