@@ -1,0 +1,185 @@
+"""Bench: streaming adaptive trial allocation vs fixed-count sweeps.
+
+The PR's acceptance gate, executable: on the Fig. 4 threshold-regime and
+Fig. 9 gain suites the adaptive allocator must run at least 3x fewer
+engine trials than the fixed-count baseline while every sweep point's
+confidence half-width stays at or below the fixed suite's worst width.
+
+The comparison is fair by construction: the adaptive target is set to the
+width the fixed run actually achieved at its *loosest* point, so the hard
+transition points run their full budget (bitwise-identical to fixed,
+hence equal width) and only the statistically saturated points -- power-up
+probability pinned at 0 or 1, low-variance gain points -- stop early, each
+at a width no looser than that target.
+"""
+
+import numpy as np
+
+from repro.analysis.stats import OnlineMoments, wilson_half_width
+from repro.constants import (
+    TANK_STANDOFF_POWER_GAIN_M,
+    TANK_STANDOFF_RANGE_M,
+)
+from repro.core.plan import paper_plan
+from repro.em.media import WATER
+from repro.em.phantoms import WaterTankPhantom
+from repro.experiments import fig04
+from repro.experiments.common import (
+    TankChannelFactory,
+    measure_gain_trials,
+    power_up_trials,
+)
+from repro.experiments.report import Table
+from repro.runtime import AdaptiveConfig
+from repro.sensors.tags import standard_tag_spec
+from conftest import run_once
+
+BUDGET = 150
+"""Fixed trial count per sweep point (the fig09 paper count)."""
+
+DEPTHS_M = (0.04, 0.08, 0.12, 0.16, 0.20, 0.24, 0.275, 0.285, 0.32, 0.36, 0.40)
+"""Fig. 4's three regimes as a depth sweep: saturated shallow points
+(power-up probability 1), a deep cut-off (probability 0), and two depths
+inside the threshold transition where the Wilson interval is widest."""
+
+
+def _mean_half_width(samples) -> float:
+    moments = OnlineMoments()
+    moments.add(samples)
+    return moments.half_width()
+
+
+def test_adaptive_fig04_threshold_suite(benchmark, emit):
+    plan = paper_plan().subset(8)
+    tank = WaterTankPhantom(medium=WATER, standoff_m=TANK_STANDOFF_RANGE_M)
+    spec = standard_tag_spec()
+
+    def factory(depth):
+        return TankChannelFactory(tank, 8, depth, plan.center_frequency_hz)
+
+    def both_suites():
+        fixed = [
+            power_up_trials(
+                plan, factory(d), WATER, 6.0, spec, BUDGET, 17
+            )
+            for d in DEPTHS_M
+        ]
+        target = max(
+            wilson_half_width(r.successes, r.trials) for r in fixed
+        )
+        config = AdaptiveConfig(
+            ci_target=target, min_trials=12, batch_trials=12
+        )
+        adaptive = [
+            power_up_trials(
+                plan, factory(d), WATER, 6.0, spec, BUDGET, 17,
+                adaptive=config,
+            )
+            for d in DEPTHS_M
+        ]
+        return fixed, target, adaptive
+
+    fixed, target, adaptive = run_once(benchmark, both_suites)
+
+    table = Table(
+        title=(
+            "Adaptive vs fixed -- Fig. 4 threshold regimes "
+            f"(power-up depth sweep, budget {BUDGET}/point)"
+        ),
+        headers=(
+            "depth (cm)", "p (fixed)", "fixed trials", "adaptive trials",
+            "adaptive CI +/-", "stop",
+        ),
+    )
+    for depth, fix, ada in zip(DEPTHS_M, fixed, adaptive):
+        table.add_row(
+            depth * 100.0,
+            fix.probability,
+            fix.trials,
+            ada.trials,
+            ada.outcome.half_width,
+            ada.outcome.stop,
+        )
+    emit(table)
+
+    fixed_total = sum(r.trials for r in fixed)
+    adaptive_total = sum(r.trials for r in adaptive)
+    ratio = fixed_total / adaptive_total
+    assert ratio >= 3.0, (
+        f"adaptive saved only {ratio:.2f}x on the threshold suite "
+        f"({adaptive_total} vs {fixed_total} trials)"
+    )
+    # Equal-or-tighter: no point's interval is looser than the fixed
+    # suite's loosest, and full-budget points match fixed bit for bit.
+    assert max(r.outcome.half_width for r in adaptive) <= target + 1e-12
+    for fix, ada in zip(fixed, adaptive):
+        if ada.trials == fix.trials:
+            assert ada.successes == fix.successes
+
+
+def test_adaptive_fig04_fig09_gain_suites(benchmark, emit):
+    full_plan = paper_plan()
+    tank = WaterTankPhantom(standoff_m=TANK_STANDOFF_POWER_GAIN_M)
+
+    def gain_point(n_antennas, adaptive=None):
+        plan = full_plan.subset(n_antennas)
+        factory = TankChannelFactory(
+            tank, n_antennas, 0.10, plan.center_frequency_hz
+        )
+        samples = measure_gain_trials(
+            factory, plan, BUDGET, 9 + n_antennas,
+            include_baseline=False, adaptive=adaptive,
+        )
+        return np.array([s.cib_gain for s in samples])
+
+    counts = tuple(range(1, 9))
+
+    def both_suites():
+        fixed = {"fig04": fig04.peak_factors(BUDGET, 4)}
+        for n in counts:
+            fixed[f"fig09@{n}"] = gain_point(n)
+        target = max(_mean_half_width(v) for v in fixed.values())
+        config = AdaptiveConfig(
+            ci_target=target, min_trials=12, batch_trials=12
+        )
+        adaptive = {
+            "fig04": fig04.peak_factors(BUDGET, 4, adaptive=config)
+        }
+        for n in counts:
+            adaptive[f"fig09@{n}"] = gain_point(n, adaptive=config)
+        return fixed, target, adaptive
+
+    fixed, target, adaptive = run_once(benchmark, both_suites)
+
+    table = Table(
+        title=(
+            "Adaptive vs fixed -- Fig. 4 peak factors + Fig. 9 gains "
+            f"(budget {BUDGET}/point)"
+        ),
+        headers=(
+            "point", "fixed trials", "fixed CI +/-", "adaptive trials",
+            "adaptive CI +/-",
+        ),
+    )
+    for point in fixed:
+        table.add_row(
+            point,
+            fixed[point].size,
+            _mean_half_width(fixed[point]),
+            adaptive[point].size,
+            _mean_half_width(adaptive[point]),
+        )
+    emit(table)
+
+    fixed_total = sum(v.size for v in fixed.values())
+    adaptive_total = sum(v.size for v in adaptive.values())
+    ratio = fixed_total / adaptive_total
+    assert ratio >= 3.0, (
+        f"adaptive saved only {ratio:.2f}x on the gain suites "
+        f"({adaptive_total} vs {fixed_total} trials)"
+    )
+    for point, samples in adaptive.items():
+        # Equal-or-tighter CI at every point...
+        assert _mean_half_width(samples) <= target + 1e-12
+        # ...and every adaptive run is a bitwise prefix of the fixed one.
+        np.testing.assert_array_equal(samples, fixed[point][: samples.size])

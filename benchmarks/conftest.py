@@ -52,44 +52,61 @@ def _kernel_samples() -> int:
     return int(sum(metrics.counter(name).value for name in _KERNEL_COUNTERS))
 
 
+def _adaptive_counters() -> tuple:
+    """(trials run, trials saved) by the streaming adaptive allocator."""
+    from repro.obs.context import current_obs
+
+    metrics = current_obs().metrics
+    return (
+        int(metrics.counter("adaptive.trials_run").value),
+        int(metrics.counter("adaptive.trials_saved").value),
+    )
+
+
 def run_once(benchmark, fn):
     """Execute ``fn`` exactly once under the benchmark timer.
 
     The experiments are monte-carlo sweeps, not microbenchmarks; one round
     gives the wall-clock cost of regenerating the figure while keeping the
     suite fast.
+
+    Counters a bench never touches are omitted from its row entirely --
+    a row without ``engine_trials`` means "not a trial workload", which
+    reads differently from a measured zero throughput.
     """
     trials_before = _engine_trials()
     candidates_before = _search_candidates()
     kernel_before = _kernel_samples()
+    adaptive_before = _adaptive_counters()
     start = time.perf_counter()
     result = benchmark.pedantic(fn, iterations=1, rounds=1)
     wall_s = time.perf_counter() - start
-    trials = _engine_trials() - trials_before
-    candidates = _search_candidates() - candidates_before
-    kernel_samples = _kernel_samples() - kernel_before
-    _RUNTIME_ROWS.append(
-        {
-            "bench": benchmark.name,
-            "wall_s": round(wall_s, 4),
-            "engine_trials": trials,
-            "trials_per_s": (
-                round(trials / wall_s, 1) if wall_s > 0 and trials else 0.0
-            ),
-            "search_candidates": candidates,
-            "search_candidates_per_s": (
-                round(candidates / wall_s, 1)
-                if wall_s > 0 and candidates
-                else 0.0
-            ),
-            "kernel_samples": kernel_samples,
-            "kernel_samples_per_s": (
-                round(kernel_samples / wall_s, 1)
-                if wall_s > 0 and kernel_samples
-                else 0.0
-            ),
-        }
+    row = {"bench": benchmark.name, "wall_s": round(wall_s, 4)}
+    deltas = (
+        ("engine_trials", "trials_per_s", _engine_trials() - trials_before),
+        (
+            "search_candidates",
+            "search_candidates_per_s",
+            _search_candidates() - candidates_before,
+        ),
+        (
+            "kernel_samples",
+            "kernel_samples_per_s",
+            _kernel_samples() - kernel_before,
+        ),
     )
+    for count_key, rate_key, delta in deltas:
+        if not delta:
+            continue
+        row[count_key] = delta
+        row[rate_key] = round(delta / wall_s, 1) if wall_s > 0 else 0.0
+    adaptive_after = _adaptive_counters()
+    adaptive_run = adaptive_after[0] - adaptive_before[0]
+    adaptive_saved = adaptive_after[1] - adaptive_before[1]
+    if adaptive_run or adaptive_saved:
+        row["adaptive_trials_run"] = adaptive_run
+        row["adaptive_trials_saved"] = adaptive_saved
+    _RUNTIME_ROWS.append(row)
     return result
 
 

@@ -3,12 +3,22 @@
 The paper reports medians with 10th/90th-percentile error bars (Figs. 9-11)
 and empirical CDFs (Figs. 6 and 12); these helpers compute exactly those
 summaries.
+
+The online estimators at the bottom (:class:`OnlineMoments`,
+:func:`wilson_interval`) back the streaming adaptive trial allocator
+(:mod:`repro.runtime.adaptive`): sufficient statistics are accumulated
+batch by batch and a confidence half-width can be read out after every
+batch without retaining the samples.
 """
 
+import math
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 import numpy as np
+
+DEFAULT_Z = 1.96
+"""Two-sided 95% normal quantile, the default confidence level."""
 
 
 @dataclass(frozen=True)
@@ -33,7 +43,7 @@ def percentile_summary(samples: Sequence[float]) -> PercentileSummary:
     """
     data = np.asarray(samples, dtype=float)
     if data.size == 0:
-        raise ValueError("cannot summarize an empty sample set")
+        raise ValueError("samples must be non-empty")
     p10, median, p90 = np.percentile(data, [10.0, 50.0, 90.0])
     return PercentileSummary(
         median=float(median), p10=float(p10), p90=float(p90), n_samples=data.size
@@ -84,3 +94,109 @@ def watts_to_dbm(watts: float) -> float:
     if watts <= 0:
         raise ValueError(f"power must be positive, got {watts}")
     return to_db(watts / 1e-3)
+
+
+@dataclass
+class OnlineMoments:
+    """Streaming count/mean/M2 sufficient statistics (Welford/Chan).
+
+    Batches of samples are folded in with :meth:`add`; mean, (sample)
+    variance and a normal-approximation confidence half-width are
+    available after every batch without retaining the samples. The merge
+    is the standard parallel-variance update, so folding a stream in any
+    batching yields the same statistics up to floating-point roundoff.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def add(self, samples: Sequence[float]) -> "OnlineMoments":
+        """Fold a batch of samples into the running moments."""
+        data = np.asarray(samples, dtype=float)
+        if data.ndim != 1:
+            data = data.reshape(-1)
+        if data.size == 0:
+            return self
+        batch_count = int(data.size)
+        batch_mean = float(np.mean(data))
+        batch_m2 = float(np.sum((data - batch_mean) ** 2))
+        if self.count == 0:
+            self.count, self.mean, self.m2 = batch_count, batch_mean, batch_m2
+            return self
+        total = self.count + batch_count
+        delta = batch_mean - self.mean
+        self.mean += delta * batch_count / total
+        self.m2 += batch_m2 + delta * delta * self.count * batch_count / total
+        self.count = total
+        return self
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (``ddof=1``); NaN below two samples."""
+        if self.count < 2:
+            return float("nan")
+        return self.m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation; NaN below two samples."""
+        variance = self.variance
+        return math.sqrt(variance) if variance >= 0 else float("nan")
+
+    def half_width(self, z: float = DEFAULT_Z) -> float:
+        """Normal-approximation CI half-width of the mean.
+
+        ``z * s / sqrt(n)``; infinite below two samples, where the spread
+        is still unknown.
+        """
+        if self.count < 2:
+            return float("inf")
+        variance = self.variance
+        if not variance > 0:
+            return 0.0
+        return z * math.sqrt(variance / self.count)
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = DEFAULT_Z
+) -> Tuple[float, float]:
+    """Wilson score interval ``(low, high)`` for a binomial proportion.
+
+    Unlike the Wald interval, the Wilson interval stays inside ``[0, 1]``
+    and keeps a sane width at ``p`` near 0 or 1 -- exactly the regimes an
+    adaptive sweep wants to stop early in (power-up deep in or out of
+    range, BER at 0 or 0.5).
+
+    Raises:
+        ValueError: if ``trials < 1`` or ``successes`` is outside
+            ``[0, trials]``.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes must be within [0, {trials}], got {successes}"
+        )
+    p_hat = successes / trials
+    z2_n = z * z / trials
+    denominator = 1.0 + z2_n
+    center = (p_hat + z2_n / 2.0) / denominator
+    half = (
+        z
+        * math.sqrt(p_hat * (1.0 - p_hat) / trials + z2_n / (4.0 * trials))
+        / denominator
+    )
+    # At p_hat = 0 (or 1) the bound at the boundary is analytically exact;
+    # pin it so roundoff in center/half cannot leak it inside the interval.
+    low = 0.0 if successes == 0 else max(0.0, center - half)
+    high = 1.0 if successes == trials else min(1.0, center + half)
+    return (low, high)
+
+
+def wilson_half_width(
+    successes: int, trials: int, z: float = DEFAULT_Z
+) -> float:
+    """Half the Wilson interval width (the proportion's CI half-width)."""
+    low, high = wilson_interval(successes, trials, z)
+    return (high - low) / 2.0

@@ -10,7 +10,7 @@ Sec. 5b coherent averaging moves an operating point up the curve by
 
 from dataclasses import dataclass
 from functools import partial
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -21,6 +21,12 @@ from repro.gen2.fm0 import decode_chips
 from repro.gen2.miller import decode_waveform, encode_waveform
 from repro.reader.averaging import coherent_average
 from repro.obs.context import current_obs
+from repro.runtime.adaptive import (
+    AdaptiveConfig,
+    ProportionTracker,
+    adaptive_map_chunks,
+    worst_interval,
+)
 from repro.runtime.runner import TrialRunner
 
 
@@ -39,6 +45,10 @@ class BerConfig:
         use_kernels: Count errors through the block-decision kernel
             (:func:`repro.kernels.ber_block`, bit-identical to the scalar
             chunk); False forces the per-word reference.
+        adaptive: Optional streaming-allocation policy. Each SNR point
+            streams word batches until the Wilson CI on *every* scheme's
+            BER meets the target (the allocator judges the loosest
+            scheme's interval each batch).
     """
 
     snr_db_points: Tuple[float, ...] = (-12.0, -9.0, -6.0, -3.0, 0.0, 3.0)
@@ -49,6 +59,7 @@ class BerConfig:
     seed: int = 54
     workers: int = 1
     use_kernels: bool = True
+    adaptive: Optional[AdaptiveConfig] = None
 
     @classmethod
     def fast(cls) -> "BerConfig":
@@ -166,13 +177,18 @@ def run(config: BerConfig = BerConfig()) -> BerResult:
         chunk_fn = ber_block
     else:
         chunk_fn = _word_errors_chunk
+    streaming = config.adaptive is not None and config.adaptive.enabled
+    budget = (
+        config.adaptive.budget(config.n_words)
+        if streaming
+        else config.n_words
+    )
     for snr_db in config.snr_db_points:
         noise_std = float(10.0 ** (-snr_db / 20.0))  # signal amplitude = 1
-        total_bits = config.n_words * 16
         fn = partial(
             chunk_fn,
             seed=config.seed + abs(int(snr_db * 10)) * 2 + (snr_db < 0),
-            n_words=config.n_words,
+            n_words=budget,
             noise_std=noise_std,
             samples_per_chip=config.samples_per_chip,
             miller_orders=config.miller_orders,
@@ -181,7 +197,32 @@ def run(config: BerConfig = BerConfig()) -> BerResult:
         with current_obs().stage_span(
             "ber.words", trials=config.n_words, snr_db=snr_db
         ):
-            chunks = runner.map_chunks(fn, config.n_words)
+            if streaming:
+                trackers = {
+                    scheme: ProportionTracker(config.adaptive.confidence_z)
+                    for scheme in schemes
+                }
+
+                def absorb(part, count, trackers=trackers):
+                    for scheme, errors in part.items():
+                        trackers[scheme].add(errors, count * 16)
+                    return worst_interval(
+                        [t.interval() for t in trackers.values()],
+                        config.adaptive,
+                    )
+
+                chunks, outcome = adaptive_map_chunks(
+                    runner,
+                    fn,
+                    config.n_words,
+                    config.adaptive,
+                    absorb,
+                    point=f"ber@{snr_db:g}dB",
+                )
+                total_bits = outcome.trials * 16
+            else:
+                chunks = runner.map_chunks(fn, config.n_words)
+                total_bits = config.n_words * 16
         errors = {scheme: 0 for scheme in schemes}
         for chunk in chunks:
             for scheme, count in chunk.items():

@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments fig13 --fast
     python -m repro.experiments all --fast
     python -m repro.experiments fig09 --workers 4 --timings
+    python -m repro.experiments fig09 --adaptive --ci-relative 0.05 \
+        --max-trials 400
     python -m repro.experiments fig09 --fast --trace-out t.jsonl \
         --metrics-out m.json --manifest-out r.json
     python -m repro.experiments obs-report --trace-in t.jsonl \
@@ -17,10 +19,13 @@ Monte-Carlo experiments run on the batched :mod:`repro.runtime` engine;
 ``--workers`` fans trial chunks across processes (results are bit-identical
 for any worker count), ``--search-islands N`` runs every frequency search
 as N independent islands merged deterministically (fanned across the same
-workers; the island count is part of the plan-cache key), ``--timings``
-prints the per-stage runtime table (worker-process stages are merged back
-into it) plus plan-cache hit/miss counts, and ``--no-plan-cache`` disables
-the frequency-search cache.
+workers; the island count is part of the plan-cache key), ``--adaptive``
+streams trials in batches and stops each sweep point once its confidence
+interval meets the ``--ci-target`` / ``--ci-relative`` target (results are
+the exact bitwise prefix of the fixed run; the policy is part of the
+plan-cache key), ``--timings`` prints the per-stage runtime table
+(worker-process stages are merged back into it) plus plan-cache hit/miss
+counts, and ``--no-plan-cache`` disables the frequency-search cache.
 
 Every invocation runs inside its own observability scope
 (:func:`repro.obs.obs_context`): ``--trace-out`` writes the span tree as
@@ -79,38 +84,57 @@ def _tables_of(result) -> List:
     return tables
 
 
-def _configure(config, workers: int):
-    """Apply the --workers override to configs that support it."""
-    if workers > 1 and any(
-        f.name == "workers" for f in dataclasses.fields(config)
-    ):
-        return dataclasses.replace(config, workers=workers)
+def _configure(config, workers: int, adaptive=None):
+    """Apply the --workers / --adaptive overrides to configs that support them."""
+    fields = {f.name for f in dataclasses.fields(config)}
+    overrides = {}
+    if workers > 1 and "workers" in fields:
+        overrides["workers"] = workers
+    if adaptive is not None and "adaptive" in fields:
+        overrides["adaptive"] = adaptive
+    if overrides:
+        return dataclasses.replace(config, **overrides)
     return config
 
 
-def _run_figure(module, fast: bool, workers: int = 1, record: Optional[dict] = None):
+def _run_figure(
+    module,
+    fast: bool,
+    workers: int = 1,
+    record: Optional[dict] = None,
+    adaptive=None,
+):
     config_cls = next(
         (
-            getattr(module, name)
+            cls
             for name in dir(module)
             if name.endswith("Config")
+            # Defined by the module itself, not imported into it (the
+            # drivers import AdaptiveConfig, which also matches *Config).
+            for cls in [getattr(module, name)]
+            if isinstance(cls, type) and cls.__module__ == module.__name__
         ),
         None,
     )
     if config_cls is None:
         return module.run()
     config = config_cls.fast() if fast and hasattr(config_cls, "fast") else config_cls()
-    config = _configure(config, workers)
+    config = _configure(config, workers, adaptive)
     if record is not None:
         record["config"] = config
     return module.run(config)
 
 
-def _run_ablations(fast: bool, workers: int = 1, record: Optional[dict] = None):
+def _run_ablations(
+    fast: bool,
+    workers: int = 1,
+    record: Optional[dict] = None,
+    adaptive=None,
+):
     config = (
         ablations.AblationConfig.fast() if fast else ablations.AblationConfig()
     )
-    config = _configure(config, workers)
+    config = _configure(config, workers, adaptive)
     if record is not None:
         record["config"] = config
     return [
@@ -123,22 +147,22 @@ def _run_ablations(fast: bool, workers: int = 1, record: Optional[dict] = None):
 
 
 EXPERIMENTS: Dict[str, Callable[..., object]] = {
-    "fig04": lambda fast, workers, record=None: _run_figure(fig04, fast, workers, record),
-    "fig05": lambda fast, workers, record=None: _run_figure(fig05, fast, record=record),
-    "fig06": lambda fast, workers, record=None: _run_figure(fig06, fast, record=record),
-    "fig09": lambda fast, workers, record=None: _run_figure(fig09, fast, workers, record),
-    "fig10": lambda fast, workers, record=None: _run_figure(fig10, fast, workers, record),
-    "fig11": lambda fast, workers, record=None: _run_figure(fig11, fast, workers, record),
-    "fig12": lambda fast, workers, record=None: _run_figure(fig12, fast, workers, record),
-    "fig13": lambda fast, workers, record=None: _run_figure(fig13, fast, workers, record),
-    "invivo": lambda fast, workers, record=None: _run_figure(invivo, fast, record=record),
-    "optogenetics": lambda fast, workers, record=None: _run_figure(optogenetics, fast, record=record),
-    "throughput": lambda fast, workers, record=None: _run_figure(inventory_throughput, fast, record=record),
-    "wakeup": lambda fast, workers, record=None: _run_figure(wakeup_latency, fast, record=record),
-    "sensitivity": lambda fast, workers, record=None: _run_figure(sensitivity, fast, record=record),
-    "ber": lambda fast, workers, record=None: _run_figure(ber, fast, workers, record),
-    "constraints": lambda fast, workers, record=None: constraint_check.run(),
-    "degradation": lambda fast, workers, record=None: _run_figure(degradation, fast, workers, record),
+    "fig04": lambda fast, workers, record=None, adaptive=None: _run_figure(fig04, fast, workers, record, adaptive),
+    "fig05": lambda fast, workers, record=None, adaptive=None: _run_figure(fig05, fast, record=record),
+    "fig06": lambda fast, workers, record=None, adaptive=None: _run_figure(fig06, fast, record=record),
+    "fig09": lambda fast, workers, record=None, adaptive=None: _run_figure(fig09, fast, workers, record, adaptive),
+    "fig10": lambda fast, workers, record=None, adaptive=None: _run_figure(fig10, fast, workers, record, adaptive),
+    "fig11": lambda fast, workers, record=None, adaptive=None: _run_figure(fig11, fast, workers, record, adaptive),
+    "fig12": lambda fast, workers, record=None, adaptive=None: _run_figure(fig12, fast, workers, record),
+    "fig13": lambda fast, workers, record=None, adaptive=None: _run_figure(fig13, fast, workers, record, adaptive),
+    "invivo": lambda fast, workers, record=None, adaptive=None: _run_figure(invivo, fast, record=record),
+    "optogenetics": lambda fast, workers, record=None, adaptive=None: _run_figure(optogenetics, fast, record=record),
+    "throughput": lambda fast, workers, record=None, adaptive=None: _run_figure(inventory_throughput, fast, record=record),
+    "wakeup": lambda fast, workers, record=None, adaptive=None: _run_figure(wakeup_latency, fast, record=record, adaptive=adaptive),
+    "sensitivity": lambda fast, workers, record=None, adaptive=None: _run_figure(sensitivity, fast, record=record),
+    "ber": lambda fast, workers, record=None, adaptive=None: _run_figure(ber, fast, workers, record, adaptive),
+    "constraints": lambda fast, workers, record=None, adaptive=None: constraint_check.run(),
+    "degradation": lambda fast, workers, record=None, adaptive=None: _run_figure(degradation, fast, workers, record),
     "ablations": _run_ablations,
 }
 
@@ -179,6 +203,48 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="independent islands per frequency search (default 1); islands "
         "are fanned across --workers processes and merged deterministically",
+    )
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="stream Monte-Carlo trials in batches and stop each sweep "
+        "point once its confidence interval is tight (defaults to a 10%% "
+        "relative half-width when no --ci-* target is given)",
+    )
+    parser.add_argument(
+        "--ci-target",
+        type=float,
+        metavar="W",
+        help="absolute CI half-width target per sweep point (requires "
+        "--adaptive)",
+    )
+    parser.add_argument(
+        "--ci-relative",
+        type=float,
+        metavar="FRAC",
+        help="relative CI half-width target, as a fraction of the "
+        "estimate (requires --adaptive)",
+    )
+    parser.add_argument(
+        "--min-trials",
+        type=int,
+        metavar="N",
+        help="trials every point runs before the stop rule applies "
+        "(requires --adaptive; default 32)",
+    )
+    parser.add_argument(
+        "--batch-trials",
+        type=int,
+        metavar="N",
+        help="trials requested per adaptive batch (requires --adaptive; "
+        "default 32)",
+    )
+    parser.add_argument(
+        "--max-trials",
+        type=int,
+        metavar="N",
+        help="per-point trial budget (requires --adaptive; default: the "
+        "experiment's configured trial count)",
     )
     parser.add_argument(
         "--timings",
@@ -229,6 +295,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="obs-report: run manifest to summarize",
     )
     return parser
+
+
+def _adaptive_config(args, parser):
+    """Build the AdaptiveConfig the --adaptive flags describe (or None)."""
+    sub_flags = {
+        "--ci-target": args.ci_target,
+        "--ci-relative": args.ci_relative,
+        "--min-trials": args.min_trials,
+        "--batch-trials": args.batch_trials,
+        "--max-trials": args.max_trials,
+    }
+    if not args.adaptive:
+        given = [name for name, value in sub_flags.items() if value is not None]
+        if given:
+            parser.error(f"{', '.join(given)} require(s) --adaptive")
+        return None
+    from repro.runtime import AdaptiveConfig
+
+    ci_target = args.ci_target
+    ci_relative = args.ci_relative
+    if ci_target is None and ci_relative is None:
+        ci_relative = 0.1
+    kwargs = {"ci_target": ci_target, "ci_relative": ci_relative}
+    if args.min_trials is not None:
+        kwargs["min_trials"] = args.min_trials
+    if args.batch_trials is not None:
+        kwargs["batch_trials"] = args.batch_trials
+    if args.max_trials is not None:
+        kwargs["max_trials"] = args.max_trials
+    try:
+        return AdaptiveConfig(**kwargs)
+    except ValueError as exc:
+        parser.error(str(exc))
 
 
 def _obs_report(args) -> int:
@@ -308,14 +407,21 @@ def main(argv=None) -> int:
         parser.error("--workers must be >= 1")
     if args.search_islands < 1:
         parser.error("--search-islands must be >= 1")
+    adaptive = _adaptive_config(args, parser)
     if args.no_plan_cache:
         from repro.runtime import configure_plan_cache
 
         configure_plan_cache(enabled=False)
-    if args.search_islands > 1 or args.workers > 1:
+    if args.search_islands > 1 or args.workers > 1 or adaptive is not None:
         from repro.runtime import configure_search
 
-        configure_search(islands=args.search_islands, workers=args.workers)
+        configure_search(
+            islands=args.search_islands,
+            workers=args.workers,
+            adaptive_token=(
+                adaptive.cache_token() if adaptive is not None else None
+            ),
+        )
 
     from repro.obs import build_manifest, obs_context, run_record, write_manifest
 
@@ -327,7 +433,9 @@ def main(argv=None) -> int:
             record: dict = {}
             start = time.perf_counter()
             with obs.tracer.span("cli.experiment", experiment=name):
-                result = EXPERIMENTS[name](args.fast, args.workers, record)
+                result = EXPERIMENTS[name](
+                    args.fast, args.workers, record, adaptive=adaptive
+                )
             elapsed = time.perf_counter() - start
             runs.append(
                 run_record(

@@ -34,6 +34,13 @@ from repro.faults.plan import FaultPlan
 from repro.harvester.tag_power import HarvesterFrontEnd
 from repro.obs.context import current_obs
 from repro.runtime import engine as engine_mod
+from repro.runtime.adaptive import (
+    AdaptiveConfig,
+    AdaptiveOutcome,
+    MeanTracker,
+    ProportionTracker,
+    adaptive_map_chunks,
+)
 from repro.runtime.runner import TrialRunner
 from repro.sensors.tags import TagSpec
 
@@ -101,6 +108,7 @@ def measure_gain_trials(
     workers: int = 1,
     chunk_size: Optional[int] = None,
     fault_plan: Optional[FaultPlan] = None,
+    adaptive: Optional[AdaptiveConfig] = None,
 ) -> List[GainSample]:
     """Run the Sec. 6.1.1 measurement loop on the batched runtime.
 
@@ -119,16 +127,23 @@ def measure_gain_trials(
         chunk_size: Trials per chunk (default: one chunk per worker).
         fault_plan: Optional fault plan injected into the CIB side of
             every trial (empty/None is bit-identical to the healthy run).
+        adaptive: Optional streaming-allocation policy. Trials stream in
+            batches until the normal-approximation CI on the mean CIB
+            gain meets the target; the returned samples are the exact
+            bitwise prefix of the fixed ``budget``-trial run. ``None``
+            (or a disabled config) is byte-identical to the fixed path.
     """
     if n_trials <= 0:
         raise ValueError(f"n_trials must be positive, got {n_trials}")
     runner = TrialRunner(workers=workers, chunk_size=chunk_size)
+    streaming = adaptive is not None and adaptive.enabled
+    budget = adaptive.budget(n_trials) if streaming else n_trials
     fn = partial(
         engine_mod.measure_gain_chunk,
         channel_factory=channel_factory,
         plan=plan,
         seed=seed,
-        n_trials=n_trials,
+        n_trials=budget,
         duration_s=duration_s,
         include_baseline=include_baseline,
         engine=engine,
@@ -140,8 +155,25 @@ def measure_gain_trials(
         seed=seed,
         workers=workers,
         engine=engine,
+        adaptive=streaming,
     ):
-        parts = runner.map_chunks(fn, n_trials)
+        if streaming:
+            tracker = MeanTracker(adaptive.confidence_z)
+
+            def absorb(part, count):
+                tracker.add(part[0])
+                return tracker.interval()
+
+            parts, _ = adaptive_map_chunks(
+                runner,
+                fn,
+                n_trials,
+                adaptive,
+                absorb,
+                point="measure_gain_trials",
+            )
+        else:
+            parts = runner.map_chunks(fn, n_trials)
     cib_gains = np.concatenate([part[0] for part in parts])
     baseline_gains = np.concatenate([part[1] for part in parts])
     return [
@@ -220,6 +252,95 @@ def peak_input_voltage_v(
     )
 
 
+@dataclass(frozen=True)
+class PowerUpTrials:
+    """Power-up tally of one sweep point: successes over trials run.
+
+    ``outcome`` carries the adaptive allocation record (``None`` on the
+    fixed-count path), so callers can report trials saved and the
+    achieved Wilson half-width alongside the probability.
+    """
+
+    successes: int
+    trials: int
+    outcome: Optional[AdaptiveOutcome] = None
+
+    @property
+    def probability(self) -> float:
+        return self.successes / self.trials
+
+
+def power_up_trials(
+    plan: CarrierPlan,
+    channel_factory: Callable[[np.random.Generator], BlindChannel],
+    medium_at_tag: Medium,
+    eirp_per_branch_w: float,
+    tag_spec: TagSpec,
+    n_trials: int,
+    seed: int,
+    engine: str = "auto",
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    adaptive: Optional[AdaptiveConfig] = None,
+) -> PowerUpTrials:
+    """Power-up successes/trials of one sweep point (batched runtime).
+
+    ``fault_plan`` injects carrier-plane faults and tag detuning into
+    every trial; empty/None is bit-identical to the healthy run. With an
+    ``adaptive`` config, trials stream in batches until the Wilson CI on
+    the success rate meets the target; the successes counted are the
+    exact bitwise prefix of the fixed ``budget``-trial run.
+    """
+    if n_trials <= 0:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    runner = TrialRunner(workers=workers, chunk_size=chunk_size)
+    streaming = adaptive is not None and adaptive.enabled
+    budget = adaptive.budget(n_trials) if streaming else n_trials
+    fn = partial(
+        engine_mod.power_up_chunk,
+        plan=plan,
+        channel_factory=channel_factory,
+        medium_at_tag=medium_at_tag,
+        eirp_per_branch_w=eirp_per_branch_w,
+        tag_spec=tag_spec,
+        seed=seed,
+        n_trials=budget,
+        engine=engine,
+        fault_plan=fault_plan,
+    )
+    with current_obs().tracer.span(
+        "experiment.power_up_probability",
+        n_trials=n_trials,
+        seed=seed,
+        workers=workers,
+        engine=engine,
+        adaptive=streaming,
+    ):
+        if streaming:
+            tracker = ProportionTracker(adaptive.confidence_z)
+
+            def absorb(part, count):
+                tracker.add(int(part), count)
+                return tracker.interval()
+
+            parts, outcome = adaptive_map_chunks(
+                runner,
+                fn,
+                n_trials,
+                adaptive,
+                absorb,
+                point="power_up_trials",
+            )
+            return PowerUpTrials(
+                successes=int(sum(parts)),
+                trials=outcome.trials,
+                outcome=outcome,
+            )
+        successes = sum(runner.map_chunks(fn, n_trials))
+    return PowerUpTrials(successes=int(successes), trials=n_trials)
+
+
 def power_up_probability(
     plan: CarrierPlan,
     channel_factory: Callable[[np.random.Generator], BlindChannel],
@@ -232,36 +353,27 @@ def power_up_probability(
     workers: int = 1,
     chunk_size: Optional[int] = None,
     fault_plan: Optional[FaultPlan] = None,
+    adaptive: Optional[AdaptiveConfig] = None,
 ) -> float:
     """Fraction of trials whose peak V_s clears the tag's minimum.
 
-    ``fault_plan`` injects carrier-plane faults and tag detuning into
-    every trial; empty/None is bit-identical to the healthy run.
+    Thin wrapper over :func:`power_up_trials` for callers that only need
+    the rate.
     """
-    if n_trials <= 0:
-        raise ValueError(f"n_trials must be positive, got {n_trials}")
-    runner = TrialRunner(workers=workers, chunk_size=chunk_size)
-    fn = partial(
-        engine_mod.power_up_chunk,
-        plan=plan,
-        channel_factory=channel_factory,
-        medium_at_tag=medium_at_tag,
-        eirp_per_branch_w=eirp_per_branch_w,
-        tag_spec=tag_spec,
-        seed=seed,
-        n_trials=n_trials,
+    return power_up_trials(
+        plan,
+        channel_factory,
+        medium_at_tag,
+        eirp_per_branch_w,
+        tag_spec,
+        n_trials,
+        seed,
         engine=engine,
-        fault_plan=fault_plan,
-    )
-    with current_obs().tracer.span(
-        "experiment.power_up_probability",
-        n_trials=n_trials,
-        seed=seed,
         workers=workers,
-        engine=engine,
-    ):
-        successes = sum(runner.map_chunks(fn, n_trials))
-    return successes / n_trials
+        chunk_size=chunk_size,
+        fault_plan=fault_plan,
+        adaptive=adaptive,
+    ).probability
 
 
 def power_up_probability_scalar(

@@ -37,6 +37,11 @@ from repro.harvester.tag_power import HarvesterFrontEnd
 from repro.rf.antenna import STANDARD_TAG_ANTENNA
 from repro.runtime import engine as engine_mod
 from repro.obs.context import current_obs
+from repro.runtime.adaptive import (
+    AdaptiveConfig,
+    MeanTracker,
+    adaptive_map_chunks,
+)
 from repro.runtime.runner import TrialRunner
 
 
@@ -51,6 +56,8 @@ class Fig04Config:
         n_trials: Phase draws in the CIB peak-factor Monte-Carlo study.
         engine: Envelope evaluation tier for the study.
         workers: Worker processes for the study.
+        adaptive: Optional streaming-allocation policy for the study
+            (CI over the mean peak factor).
     """
 
     eirp_w: float = 6.0
@@ -61,6 +68,7 @@ class Fig04Config:
     n_trials: int = 500
     engine: str = "auto"
     workers: int = 1
+    adaptive: Optional[AdaptiveConfig] = None
 
     @classmethod
     def fast(cls) -> "Fig04Config":
@@ -143,19 +151,38 @@ def peak_factors(
     engine: str = "auto",
     workers: int = 1,
     chunk_size: Optional[int] = None,
+    adaptive: Optional[AdaptiveConfig] = None,
 ) -> np.ndarray:
-    """Monte-Carlo CIB peak factors of the paper plan (batched engine)."""
+    """Monte-Carlo CIB peak factors of the paper plan (batched engine).
+
+    With an ``adaptive`` config, draws stream in batches until the CI on
+    the mean peak factor meets the target; the returned array is the
+    exact bitwise prefix of the fixed ``budget``-draw run.
+    """
     if n_trials <= 0:
         raise ValueError(f"n_trials must be positive, got {n_trials}")
     offsets = paper_plan().offsets_array()
     runner = TrialRunner(workers=workers, chunk_size=chunk_size)
+    streaming = adaptive is not None and adaptive.enabled
+    budget = adaptive.budget(n_trials) if streaming else n_trials
     fn = partial(
         _peak_factor_chunk,
         offsets=offsets,
         seed=seed,
-        n_trials=n_trials,
+        n_trials=budget,
         engine=engine,
     )
+    if streaming:
+        tracker = MeanTracker(adaptive.confidence_z)
+
+        def absorb(part, count):
+            tracker.add(part)
+            return tracker.interval()
+
+        parts, _ = adaptive_map_chunks(
+            runner, fn, n_trials, adaptive, absorb, point="peak_factors"
+        )
+        return np.concatenate(parts)
     return np.concatenate(runner.map_chunks(fn, n_trials))
 
 
@@ -195,7 +222,7 @@ def run(config: Fig04Config = Fig04Config()) -> Fig04Result:
     # Distribution of the restored voltage over many blind phase draws.
     factors = peak_factors(
         config.n_trials, config.seed, engine=config.engine,
-        workers=config.workers,
+        workers=config.workers, adaptive=config.adaptive,
     )
     summary = percentile_summary(factors)
     above = float(np.mean(factors * deep_voltage > DIODE_THRESHOLD_V))
@@ -210,5 +237,5 @@ def run(config: Fig04Config = Fig04Config()) -> Fig04Result:
         peak_factor_p10=summary.p10,
         peak_factor_p90=summary.p90,
         above_threshold_fraction=above,
-        n_trials=config.n_trials,
+        n_trials=int(factors.size),
     )

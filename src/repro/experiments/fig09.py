@@ -7,7 +7,7 @@ frequency set does not always align perfectly).
 """
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.analysis.stats import percentile_summary
 from repro.constants import TANK_STANDOFF_POWER_GAIN_M
@@ -15,6 +15,7 @@ from repro.core.plan import CarrierPlan, paper_plan
 from repro.em.phantoms import WaterTankPhantom
 from repro.experiments.common import TankChannelFactory, measure_gain_trials
 from repro.experiments.report import Table
+from repro.runtime.adaptive import AdaptiveConfig
 
 
 @dataclass(frozen=True)
@@ -28,6 +29,9 @@ class Fig09Config:
         seed: Experiment seed.
         engine: Envelope evaluation tier (see repro.runtime.engine).
         workers: Worker processes for the trial chunks.
+        adaptive: Optional streaming-allocation policy; each antenna
+            count's point stops once the CI on its mean CIB gain is
+            tight.
     """
 
     max_antennas: int = 10
@@ -36,6 +40,7 @@ class Fig09Config:
     seed: int = 9
     engine: str = "auto"
     workers: int = 1
+    adaptive: Optional[AdaptiveConfig] = None
 
     @classmethod
     def fast(cls) -> "Fig09Config":
@@ -83,6 +88,7 @@ def run(config: Fig09Config = Fig09Config()) -> Fig09Result:
             include_baseline=False,
             engine=config.engine,
             workers=config.workers,
+            adaptive=config.adaptive,
         )
         summary = percentile_summary([s.cib_gain for s in samples])
         result.antenna_counts.append(n_antennas)

@@ -8,7 +8,7 @@ with depth.
 
 import math
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.analysis.stats import percentile_summary
 from repro.constants import TANK_STANDOFF_POWER_GAIN_M
@@ -16,6 +16,7 @@ from repro.core.plan import paper_plan
 from repro.em.phantoms import WaterTankPhantom
 from repro.experiments.common import TankChannelFactory, measure_gain_trials
 from repro.experiments.report import Table
+from repro.runtime.adaptive import AdaptiveConfig
 
 
 @dataclass(frozen=True)
@@ -29,6 +30,7 @@ class Fig10Config:
     seed: int = 10
     engine: str = "auto"
     workers: int = 1
+    adaptive: Optional[AdaptiveConfig] = None
 
     @classmethod
     def fast(cls) -> "Fig10Config":
@@ -80,6 +82,7 @@ def run(config: Fig10Config = Fig10Config()) -> Fig10Result:
             include_baseline=False,
             engine=config.engine,
             workers=config.workers,
+            adaptive=config.adaptive,
         )
         summary = percentile_summary([s.cib_gain for s in samples])
         depth_rows.append(
@@ -107,6 +110,7 @@ def run(config: Fig10Config = Fig10Config()) -> Fig10Result:
             include_baseline=False,
             engine=config.engine,
             workers=config.workers,
+            adaptive=config.adaptive,
         )
         summary = percentile_summary([s.cib_gain for s in samples])
         orientation_rows.append(

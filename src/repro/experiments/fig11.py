@@ -7,7 +7,7 @@ total-power increase. CIB's gain is medium-agnostic by construction.
 """
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.analysis.stats import percentile_summary
 from repro.constants import TANK_STANDOFF_POWER_GAIN_M
@@ -16,6 +16,7 @@ from repro.em.media import FIG11_MEDIA, Medium
 from repro.em.phantoms import WaterTankPhantom
 from repro.experiments.common import TankChannelFactory, measure_gain_trials
 from repro.experiments.report import Table
+from repro.runtime.adaptive import AdaptiveConfig
 
 
 @dataclass(frozen=True)
@@ -37,6 +38,7 @@ class Fig11Config:
     seed: int = 11
     engine: str = "auto"
     workers: int = 1
+    adaptive: Optional[AdaptiveConfig] = None
 
     @classmethod
     def fast(cls) -> "Fig11Config":
@@ -89,6 +91,7 @@ def run(config: Fig11Config = Fig11Config()) -> Fig11Result:
             seed=config.seed + index,
             engine=config.engine,
             workers=config.workers,
+            adaptive=config.adaptive,
         )
         cib = percentile_summary([s.cib_gain for s in samples])
         baseline = percentile_summary([s.baseline_gain for s in samples])

@@ -11,7 +11,7 @@ antenna count (exponential tissue loss) to ~23 cm (standard) and ~11 cm
 """
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.calibration import bisect_increasing, calibrate_scalar
 from repro.constants import (
@@ -23,6 +23,7 @@ from repro.em.media import AIR, WATER
 from repro.em.phantoms import WaterTankPhantom
 from repro.experiments.common import TankChannelFactory, power_up_probability
 from repro.experiments.report import Table
+from repro.runtime.adaptive import AdaptiveConfig
 from repro.sensors.tags import TagSpec, miniature_tag_spec, standard_tag_spec
 
 
@@ -52,6 +53,7 @@ class Fig13Config:
     seed: int = 13
     engine: str = "auto"
     workers: int = 1
+    adaptive: Optional[AdaptiveConfig] = None
 
     @classmethod
     def fast(cls) -> "Fig13Config":
@@ -117,6 +119,7 @@ def _air_range_m(
         probability = power_up_probability(
             plan, factory, AIR, eirp_w, spec, config.n_trials, seed,
             engine=config.engine, workers=config.workers,
+            adaptive=config.adaptive,
         )
         return probability >= config.success_fraction
 
@@ -142,6 +145,7 @@ def _water_depth_m(
         probability = power_up_probability(
             plan, factory, WATER, eirp_w, spec, config.n_trials, seed,
             engine=config.engine, workers=config.workers,
+            adaptive=config.adaptive,
         )
         return probability >= config.success_fraction
 

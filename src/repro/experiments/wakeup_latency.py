@@ -32,6 +32,11 @@ from repro.em.phantoms import WaterTankPhantom
 from repro.experiments.report import Table
 from repro.faults.plan import FaultPlan
 from repro.runtime import engine as engine_mod
+from repro.runtime.adaptive import (
+    AdaptiveConfig,
+    ProportionTracker,
+    adaptive_map_chunks,
+)
 from repro.runtime.runner import TrialRunner
 from repro.sensors.sensor import BatteryFreeSensor
 from repro.sensors.tags import standard_tag_spec
@@ -54,6 +59,13 @@ class WakeupConfig:
             legacy loop); False forces the per-trial reference.
         fault_plan: Optional fault plan perturbing each trial's carriers
             and harvested voltage; an empty plan matches None bit for bit.
+        adaptive: Optional streaming-allocation policy. Each depth runs
+            batches until the Wilson CI on its wake fraction meets the
+            target (requires ``use_kernels``). Note the per-depth seeding
+            makes trial streams depend only on the depth, so adaptive
+            trials are bitwise prefixes of the fixed run's -- except under
+            a ``fault_plan``, whose trial keys become depth-local rather
+            than sweep-global.
     """
 
     depths_m: Tuple[float, ...] = (0.05, 0.10, 0.15, 0.20, 0.24)
@@ -66,6 +78,7 @@ class WakeupConfig:
     workers: int = 1
     use_kernels: bool = True
     fault_plan: Optional[FaultPlan] = None
+    adaptive: Optional[AdaptiveConfig] = None
 
     @classmethod
     def fast(cls) -> "WakeupConfig":
@@ -205,9 +218,73 @@ def _rows_from_latencies(
     return rows
 
 
+def _adaptive_rows(
+    config: WakeupConfig, plan, runner: TrialRunner
+) -> List[Tuple[float, Optional[float], float]]:
+    """Per-depth streaming allocation: stop when the wake CI is tight.
+
+    Each depth gets its own allocator pass over a single-depth chunk
+    function. The per-depth seeding (``seed + int(depth * 1e4)``) makes a
+    depth's trial stream independent of the other depths, so the trials a
+    depth runs are the bitwise prefix of the fixed sweep's block for that
+    depth.
+    """
+    adaptive = config.adaptive
+    budget = adaptive.budget(config.n_trials)
+    rows: List[Tuple[float, Optional[float], float]] = []
+    for depth in config.depths_m:
+        fn = partial(
+            engine_mod.wakeup_latency_chunk,
+            plan=plan,
+            depths_m=(depth,),
+            n_trials_per_depth=budget,
+            channel_factory=partial(
+                _tank_channel,
+                n_antennas=config.n_antennas,
+                center_frequency_hz=plan.center_frequency_hz,
+            ),
+            eirp_per_branch_w=config.eirp_per_branch_w,
+            tag_spec=standard_tag_spec(),
+            medium_at_tag=WATER,
+            envelope_rate_hz=config.envelope_rate_hz,
+            max_periods=config.max_periods,
+            seed=config.seed,
+            fault_plan=config.fault_plan,
+        )
+        tracker = ProportionTracker(adaptive.confidence_z)
+
+        def absorb(part, count, tracker=tracker):
+            tracker.add(int(np.count_nonzero(~np.isnan(part))), count)
+            return tracker.interval()
+
+        parts, _ = adaptive_map_chunks(
+            runner,
+            fn,
+            config.n_trials,
+            adaptive,
+            absorb,
+            label="wakeup.chunk",
+            point=f"wakeup@{depth * 100:.0f}cm",
+        )
+        block = np.concatenate(parts)
+        woke = block[~np.isnan(block)]
+        median = float(np.median(woke)) if woke.size else None
+        rows.append((depth, median, woke.size / block.size))
+    return rows
+
+
 def run(config: WakeupConfig = WakeupConfig()) -> WakeupResult:
+    streaming = config.adaptive is not None and config.adaptive.enabled
+    if streaming and not config.use_kernels:
+        raise ValueError(
+            "adaptive allocation requires the batched kernel path "
+            "(use_kernels=True)"
+        )
     if config.use_kernels:
         plan = paper_plan().subset(config.n_antennas)
+        runner = TrialRunner(workers=config.workers)
+        if streaming:
+            return WakeupResult(rows=_adaptive_rows(config, plan, runner))
         chunk_fn = partial(
             engine_mod.wakeup_latency_chunk,
             plan=plan,
@@ -226,7 +303,6 @@ def run(config: WakeupConfig = WakeupConfig()) -> WakeupResult:
             seed=config.seed,
             fault_plan=config.fault_plan,
         )
-        runner = TrialRunner(workers=config.workers)
         chunks = runner.map_chunks(
             chunk_fn,
             len(config.depths_m) * config.n_trials,

@@ -14,6 +14,12 @@ the production trial engine the experiment drivers share instead:
   ``concurrent.futures.ProcessPoolExecutor`` with deterministic per-chunk
   ``SeedSequence`` spawning, so results are bit-identical regardless of
   worker count (``workers=1`` runs in-process).
+* :mod:`repro.runtime.adaptive` -- **streaming adaptive allocation**:
+  :func:`adaptive_map_chunks` requests trials in successive batches per
+  sweep point, maintains online confidence intervals
+  (:class:`MeanTracker` / :class:`ProportionTracker`), and stops each
+  point once its half-width meets the :class:`AdaptiveConfig` target --
+  bitwise identical to a fixed run of the same trial count.
 * :mod:`repro.runtime.cache` -- **plan caching**: an in-memory + on-disk
   cache for :class:`~repro.core.optimizer.FrequencyOptimizer` search
   results, keyed by a hash of the full search configuration, so repeated
@@ -30,6 +36,13 @@ pool-result path and the parent merges it, so ``--timings`` and
 :mod:`repro.obs` for the tracer / metrics / manifest subsystem.
 """
 
+from repro.runtime.adaptive import (
+    AdaptiveConfig,
+    AdaptiveOutcome,
+    MeanTracker,
+    ProportionTracker,
+    adaptive_map_chunks,
+)
 from repro.runtime.cache import (
     PlanCache,
     configure_plan_cache,
@@ -50,9 +63,14 @@ from repro.runtime.runner import TrialRunner
 
 __all__ = [
     "ENGINES",
+    "AdaptiveConfig",
+    "AdaptiveOutcome",
     "Instrumentation",
+    "MeanTracker",
     "PlanCache",
+    "ProportionTracker",
     "TrialRunner",
+    "adaptive_map_chunks",
     "configure_plan_cache",
     "configure_search",
     "fft_compatible",

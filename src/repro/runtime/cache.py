@@ -39,12 +39,14 @@ from repro.obs.context import current_obs
 
 _ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 
-_SEARCH_DEFAULTS = {"islands": 1, "workers": 1}
+_SEARCH_DEFAULTS = {"islands": 1, "workers": 1, "adaptive_token": "none"}
 
 
 def configure_search(
-    islands: Optional[int] = None, workers: Optional[int] = None
-) -> Dict[str, int]:
+    islands: Optional[int] = None,
+    workers: Optional[int] = None,
+    adaptive_token: Optional[str] = None,
+) -> Dict[str, object]:
     """Set process-wide defaults for the frequency-search pipeline.
 
     ``islands`` is the number of independent search islands the cached
@@ -52,7 +54,12 @@ def configure_search(
     counts explore different candidate streams and may select different
     plans); ``workers`` is how many processes island searches may fan out
     across (*not* part of the key: results are bit-identical for any
-    worker count). The CLI's ``--search-islands`` flag lands here.
+    worker count). ``adaptive_token`` is the active
+    :meth:`repro.runtime.adaptive.AdaptiveConfig.cache_token` (``"none"``
+    when adaptive allocation is off); it is part of the key so plans
+    produced under one allocation policy are never served to a run under
+    another. The CLI's ``--search-islands`` / ``--adaptive`` flags land
+    here.
     """
     if islands is not None:
         if islands < 1:
@@ -62,11 +69,15 @@ def configure_search(
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         _SEARCH_DEFAULTS["workers"] = int(workers)
+    if adaptive_token is not None:
+        if not adaptive_token:
+            raise ValueError("adaptive_token must be a non-empty string")
+        _SEARCH_DEFAULTS["adaptive_token"] = str(adaptive_token)
     return dict(_SEARCH_DEFAULTS)
 
 
-def get_search_defaults() -> Dict[str, int]:
-    """Current process-wide search defaults (islands, workers)."""
+def get_search_defaults() -> Dict[str, object]:
+    """Current process-wide search defaults (islands, workers, adaptive)."""
     return dict(_SEARCH_DEFAULTS)
 
 
@@ -267,6 +278,7 @@ def optimized_plan(
     islands: Optional[int] = None,
     workers: Optional[int] = None,
     fault_token: Optional[str] = None,
+    adaptive_token: Optional[str] = None,
 ) -> OptimizationResult:
     """Cached equivalent of ``FrequencyOptimizer(...).optimize(...)``.
 
@@ -277,11 +289,15 @@ def optimized_plan(
     :meth:`repro.faults.plan.FaultPlan.cache_token` value) is part of the
     key, so results produced under one fault plan are never served to
     another; ``None`` and the empty plan share the healthy key.
+    ``adaptive_token`` keys the active adaptive-allocation policy the same
+    way (defaulting to the :func:`configure_search` process-wide value).
     """
     constraint = constraint if constraint is not None else FlatnessConstraint()
     cache = cache if cache is not None else get_plan_cache()
     islands = _SEARCH_DEFAULTS["islands"] if islands is None else islands
     workers = _SEARCH_DEFAULTS["workers"] if workers is None else workers
+    if adaptive_token is None:
+        adaptive_token = str(_SEARCH_DEFAULTS["adaptive_token"])
     key = plan_key(
         kind="peak",
         n_antennas=n_antennas,
@@ -297,6 +313,7 @@ def optimized_plan(
         islands=islands,
         search_rev=SEARCH_REV,
         fault_token=fault_token or "none",
+        adaptive_token=adaptive_token,
     )
     obs = current_obs()
     with obs.tracer.span("plan_cache.lookup", kind="peak", key=key) as span:
@@ -339,16 +356,19 @@ def optimized_conduction_plan(
     islands: Optional[int] = None,
     workers: Optional[int] = None,
     fault_token: Optional[str] = None,
+    adaptive_token: Optional[str] = None,
 ) -> OptimizationResult:
     """Cached ``FrequencyOptimizer(...).optimize_conduction(threshold, ...)``.
 
-    ``fault_token`` participates in the cache key exactly as in
-    :func:`optimized_plan`.
+    ``fault_token`` and ``adaptive_token`` participate in the cache key
+    exactly as in :func:`optimized_plan`.
     """
     constraint = constraint if constraint is not None else FlatnessConstraint()
     cache = cache if cache is not None else get_plan_cache()
     islands = _SEARCH_DEFAULTS["islands"] if islands is None else islands
     workers = _SEARCH_DEFAULTS["workers"] if workers is None else workers
+    if adaptive_token is None:
+        adaptive_token = str(_SEARCH_DEFAULTS["adaptive_token"])
     key = plan_key(
         kind="conduction",
         n_antennas=n_antennas,
@@ -365,6 +385,7 @@ def optimized_conduction_plan(
         islands=islands,
         search_rev=SEARCH_REV,
         fault_token=fault_token or "none",
+        adaptive_token=adaptive_token,
     )
     obs = current_obs()
     with obs.tracer.span(

@@ -118,10 +118,26 @@ class TrialRunner:
         """Contiguous ``(start, count)`` spans covering ``n_trials``."""
         if n_trials <= 0:
             raise ValueError(f"n_trials must be positive, got {n_trials}")
-        size = self.chunk_size or math.ceil(n_trials / self.workers)
+        return self.range_spans(0, n_trials)
+
+    def range_spans(self, start: int, stop: int) -> List[Tuple[int, int]]:
+        """Contiguous ``(start, count)`` spans covering ``[start, stop)``.
+
+        The spans partition the half-open trial range in order, so a
+        caller walking successive ranges (the adaptive allocator's
+        batches) covers exactly the same absolute trial indices a single
+        ``spans(stop)`` call would -- which is what keeps batched
+        execution bit-identical to one-shot execution.
+        """
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        if stop <= start:
+            raise ValueError(
+                f"need a non-empty trial range, got [{start}, {stop})"
+            )
+        size = self.chunk_size or math.ceil((stop - start) / self.workers)
         return [
-            (start, min(size, n_trials - start))
-            for start in range(0, n_trials, size)
+            (lo, min(size, stop - lo)) for lo in range(start, stop, size)
         ]
 
     def map_chunks(
@@ -136,7 +152,26 @@ class TrialRunner:
         dispatched through the runner (e.g. frequency-search islands) stay
         distinguishable from Monte-Carlo chunks in ``--trace-out`` output.
         """
-        spans = self.spans(n_trials)
+        if n_trials <= 0:
+            raise ValueError(f"n_trials must be positive, got {n_trials}")
+        return self.map_range(fn, 0, n_trials, label)
+
+    def map_range(
+        self,
+        fn: Callable[[int, int], Any],
+        start: int,
+        stop: int,
+        label: str = "runner.chunk",
+    ) -> List[Any]:
+        """Apply ``fn`` to the spans of ``[start, stop)``, in span order.
+
+        The sub-range analogue of :meth:`map_chunks`: chunk functions
+        derive their random streams from absolute trial indices, so
+        mapping ``[0, a)`` then ``[a, b)`` returns exactly the chunks a
+        single ``[0, b)`` map would, regardless of worker count. The
+        streaming adaptive allocator is the primary caller.
+        """
+        spans = self.range_spans(start, stop)
         obs = current_obs()
         if self.workers == 1 or len(spans) == 1:
             return [

@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 
 from repro.analysis.stats import (
+    DEFAULT_Z,
+    OnlineMoments,
     PercentileSummary,
     cdf_at,
     dbm_to_watts,
@@ -12,6 +14,8 @@ from repro.analysis.stats import (
     percentile_summary,
     to_db,
     watts_to_dbm,
+    wilson_half_width,
+    wilson_interval,
 )
 
 
@@ -31,8 +35,68 @@ class TestPercentileSummary:
         assert summary.as_row() == (1.0, 2.0, 3.0)
 
     def test_empty_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="samples must be non-empty"):
             percentile_summary([])
+
+
+class TestOnlineMoments:
+    def test_matches_numpy_over_batches(self):
+        rng = np.random.default_rng(3)
+        samples = rng.normal(5.0, 2.0, 97)
+        moments = OnlineMoments()
+        for batch in np.array_split(samples, 7):
+            moments.add(batch)
+        assert moments.count == samples.size
+        assert moments.mean == pytest.approx(samples.mean(), rel=1e-12)
+        assert moments.variance == pytest.approx(
+            samples.var(ddof=1), rel=1e-12
+        )
+        assert moments.std == pytest.approx(samples.std(ddof=1), rel=1e-12)
+
+    def test_half_width_shrinks_with_samples(self):
+        rng = np.random.default_rng(4)
+        small = OnlineMoments()
+        small.add(rng.normal(0.0, 1.0, 50))
+        big = OnlineMoments()
+        big.add(rng.normal(0.0, 1.0, 5000))
+        assert big.half_width() < small.half_width()
+        expected = DEFAULT_Z * big.std / np.sqrt(big.count)
+        assert big.half_width() == pytest.approx(expected, rel=1e-12)
+
+    def test_degenerate_counts(self):
+        moments = OnlineMoments()
+        assert moments.half_width() == float("inf")
+        moments.add([2.0])
+        assert moments.mean == 2.0
+        assert np.isnan(moments.variance)
+        assert moments.half_width() == float("inf")
+        moments.add([2.0])
+        assert moments.half_width() == 0.0
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+        assert 0.0 <= low and high <= 1.0
+
+    def test_sane_at_extremes(self):
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0 and 0.0 < high < 0.3
+        low, high = wilson_interval(20, 20)
+        assert 0.7 < low < 1.0 and high == 1.0
+
+    def test_half_width_shrinks_with_trials(self):
+        assert wilson_half_width(5, 10) > wilson_half_width(50, 100)
+        assert wilson_half_width(50, 100) > wilson_half_width(500, 1000)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_interval(0, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 4)
 
 
 class TestEmpiricalCdf:

@@ -30,14 +30,23 @@ class TestSearchDefaults:
     def test_configure_and_read_back(self):
         before = get_search_defaults()
         try:
-            assert configure_search(islands=2, workers=3) == {
+            assert configure_search(
+                islands=2, workers=3, adaptive_token="abc123"
+            ) == {
                 "islands": 2,
                 "workers": 3,
+                "adaptive_token": "abc123",
             }
-            assert get_search_defaults() == {"islands": 2, "workers": 3}
+            assert get_search_defaults() == {
+                "islands": 2,
+                "workers": 3,
+                "adaptive_token": "abc123",
+            }
         finally:
             configure_search(
-                islands=before["islands"], workers=before["workers"]
+                islands=before["islands"],
+                workers=before["workers"],
+                adaptive_token=before["adaptive_token"],
             )
 
     def test_rejects_non_positive(self):
@@ -45,6 +54,32 @@ class TestSearchDefaults:
             configure_search(islands=0)
         with pytest.raises(ValueError):
             configure_search(workers=0)
+        with pytest.raises(ValueError):
+            configure_search(adaptive_token="")
+
+    def test_adaptive_token_is_part_of_the_key(self):
+        cache = PlanCache()
+        optimized_plan(
+            3, n_draws=8, n_candidates=4, refine_rounds=0, cache=cache
+        )
+        optimized_plan(
+            3,
+            n_draws=8,
+            n_candidates=4,
+            refine_rounds=0,
+            cache=cache,
+            adaptive_token="policy-a",
+        )
+        assert cache.misses == 2
+        optimized_plan(
+            3,
+            n_draws=8,
+            n_candidates=4,
+            refine_rounds=0,
+            cache=cache,
+            adaptive_token="policy-a",
+        )
+        assert cache.hits == 1
 
     def test_island_count_is_part_of_the_key(self):
         cache = PlanCache()

@@ -32,7 +32,44 @@ class TestSpans:
             TrialRunner().spans(0)
 
 
+class TestRangeSpans:
+    def test_suffix_partition_matches_full_partition(self):
+        runner = TrialRunner(chunk_size=4)
+        assert runner.range_spans(4, 10) == [(4, 4), (8, 2)]
+        assert runner.range_spans(0, 4) + runner.range_spans(4, 10) == (
+            runner.spans(10)
+        )
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            TrialRunner().range_spans(-1, 4)
+        with pytest.raises(ValueError):
+            TrialRunner().range_spans(4, 4)
+
+
 class TestMapChunks:
+    def test_fewer_trials_than_workers(self):
+        # Degenerate chunking: every trial becomes its own single-trial
+        # span and the pool simply runs fewer workers than configured.
+        runner = TrialRunner(workers=8)
+        assert runner.spans(3) == [(0, 1), (1, 1), (2, 1)]
+        parts = runner.map_chunks(span_indices, 3)
+        assert np.concatenate(parts).tolist() == [0, 1, 2]
+
+    def test_single_trial_many_workers(self):
+        parts = TrialRunner(workers=4).map_chunks(span_indices, 1)
+        assert np.concatenate(parts).tolist() == [0]
+
+    def test_batched_ranges_cover_single_map(self):
+        runner = TrialRunner(chunk_size=3)
+        batched = runner.map_range(span_indices, 0, 5) + runner.map_range(
+            span_indices, 5, 12
+        )
+        single = runner.map_chunks(span_indices, 12)
+        assert np.concatenate(batched).tolist() == np.concatenate(
+            single
+        ).tolist()
+
     def test_in_process_covers_all_trials(self):
         parts = TrialRunner(chunk_size=3).map_chunks(span_indices, 10)
         assert np.concatenate(parts).tolist() == list(range(10))
@@ -66,6 +103,17 @@ def always_fail_chunk(start: int, count: int):
     raise ValueError(f"boom at {start}")
 
 
+def fail_once_chunk(start: int, count: int):
+    """Fails only for the first chunk, and only inside a pool worker."""
+    import os
+
+    if start == 0 and os.getpid() != int(
+        os.environ.get("TEST_RUNNER_PARENT_PID", "-1")
+    ):
+        raise ValueError("one-shot boom")
+    return list(range(start, start + count))
+
+
 @pytest.fixture
 def parent_pid_env(monkeypatch):
     import os
@@ -85,6 +133,19 @@ class TestWorkerFailureRecovery:
                 parts = runner.map_chunks(fail_in_worker_chunk, 8)
         assert [v for part in parts for v in part] == list(range(8))
         assert obs.metrics.counters()["runner.chunk_retries"] == 2
+
+    def test_one_shot_failure_counts_single_retry(self, parent_pid_env):
+        from repro.obs.context import obs_context
+
+        runner = TrialRunner(workers=2, chunk_size=4)
+        with obs_context() as obs:
+            with pytest.warns(
+                RuntimeWarning, match="retrying once in-process"
+            ):
+                parts = runner.map_chunks(fail_once_chunk, 8)
+        # The healthy chunk is untouched; exactly one retry is recorded.
+        assert [v for part in parts for v in part] == list(range(8))
+        assert obs.metrics.counters()["runner.chunk_retries"] == 1
 
     def test_warning_surfaces_worker_traceback(self, parent_pid_env):
         runner = TrialRunner(workers=2, chunk_size=8)
