@@ -10,7 +10,14 @@ The ``-s`` flag shows the reproduced tables inline.
 Every ``run_once`` call also records the bench's wall-clock time and the
 number of Monte-Carlo trials the :mod:`repro.runtime` engine processed
 during it; the session writes the rows to ``BENCH_runtime.json`` at the
-repo root so throughput regressions show up in review diffs.
+repo root so throughput regressions show up in review diffs, and appends
+the same rows as one entry to the append-only ``BENCH_history.jsonl`` so
+``tools/bench_sentinel.py`` can hold a trend baseline against them.
+
+Every row is stamped with the git revision and a short environment
+fingerprint (python/numpy versions, CPU count -- see
+:func:`repro.obs.history.env_fingerprint`); rows from different
+environments never silently merge into one baseline.
 """
 
 import json
@@ -19,9 +26,14 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs.history import env_fingerprint, fingerprint_hash
+from repro.obs.manifest import git_revision
 from repro.runtime import get_instrumentation
 
 _RUNTIME_ROWS = []
+_ENV = env_fingerprint()
+_FINGERPRINT = fingerprint_hash(_ENV)
+_GIT_REV = git_revision()
 
 
 def _engine_trials() -> int:
@@ -81,7 +93,12 @@ def run_once(benchmark, fn):
     start = time.perf_counter()
     result = benchmark.pedantic(fn, iterations=1, rounds=1)
     wall_s = time.perf_counter() - start
-    row = {"bench": benchmark.name, "wall_s": round(wall_s, 4)}
+    row = {
+        "bench": benchmark.name,
+        "wall_s": round(wall_s, 4),
+        "git_rev": None if _GIT_REV is None else _GIT_REV[:12],
+        "fingerprint": _FINGERPRINT,
+    }
     deltas = (
         ("engine_trials", "trials_per_s", _engine_trials() - trials_before),
         (
@@ -113,12 +130,23 @@ def run_once(benchmark, fn):
 def pytest_sessionfinish(session, exitstatus):
     if not _RUNTIME_ROWS:
         return
-    path = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+    root = Path(__file__).resolve().parent.parent
     payload = {
         "total_wall_s": round(sum(r["wall_s"] for r in _RUNTIME_ROWS), 4),
+        "git_rev": _GIT_REV,
+        "env": _ENV,
         "benches": _RUNTIME_ROWS,
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    (root / "BENCH_runtime.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    # Graduate the overwrite-in-place snapshot to the append-only history
+    # the regression sentinel baselines against.
+    from repro.obs.history import append_history, history_entry
+
+    append_history(
+        root / "BENCH_history.jsonl", history_entry(payload, env=_ENV)
+    )
 
 
 @pytest.fixture

@@ -13,6 +13,10 @@ Usage::
         --metrics-out m.json --manifest-out r.json
     python -m repro.experiments obs-report --trace-in t.jsonl \
         --metrics-in m.json
+    python -m repro.experiments obs-report --trace-in t.jsonl --analyze \
+        --collapsed-out t.collapsed
+    python -m repro.experiments fig09 --fast --workers 4 --profile \
+        --trace-out t.jsonl
 
 Each experiment prints the table(s) the corresponding paper figure shows.
 Monte-Carlo experiments run on the batched :mod:`repro.runtime` engine;
@@ -32,7 +36,13 @@ Every invocation runs inside its own observability scope
 JSONL, ``--metrics-out`` writes the metrics registry as JSON, and
 ``--manifest-out`` writes a run manifest (configs, seeds, git rev,
 versions, metric summary) sufficient to reproduce the printed tables. The
-``obs-report`` subcommand renders those files back into summary tables.
+``obs-report`` subcommand renders those files back into summary tables;
+``--analyze`` adds trace analytics (critical path, per-span self time,
+worker occupancy with straggler/idle-gap detection) and
+``--collapsed-out`` exports the trace as collapsed stacks for
+speedscope / ``flamegraph.pl``. ``--profile`` opts the runtime into its
+pool-profiling hooks (dispatch latency, queue wait, chunk skew,
+serialization overhead) for the run.
 """
 
 import argparse
@@ -280,9 +290,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "metric summary) sufficient to rerun the experiment",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable pool profiling hooks (dispatch latency, queue wait, "
+        "chunk skew, serialization overhead); adds measurable overhead, "
+        "so it is opt-in",
+    )
+    parser.add_argument(
         "--trace-in",
         metavar="PATH",
         help="obs-report: trace JSONL file to summarize",
+    )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="obs-report: run trace analytics on --trace-in (critical "
+        "path, per-span self time, worker occupancy, stragglers)",
+    )
+    parser.add_argument(
+        "--collapsed-out",
+        metavar="PATH",
+        help="obs-report: write --trace-in as collapsed stacks "
+        "(speedscope / flamegraph.pl format, self-time microseconds)",
     )
     parser.add_argument(
         "--metrics-in",
@@ -384,6 +413,44 @@ def _obs_report(args) -> int:
         print()
         print(trace_summary_table(spans).render())
         print(f"({len(spans)} spans in {args.trace_in})")
+        if args.analyze:
+            from repro.experiments.report import (
+                critical_path_table,
+                occupancy_table,
+                self_time_table,
+            )
+            from repro.obs import analyze_trace
+
+            analysis = analyze_trace(spans)
+            print()
+            print(critical_path_table(analysis).render())
+            print()
+            print(self_time_table(analysis).render())
+            if analysis.lanes:
+                print()
+                print(occupancy_table(analysis).render())
+            for straggler in analysis.stragglers:
+                print(
+                    f"  straggler: {straggler.name} on worker "
+                    f"{straggler.worker} took {straggler.duration_s:.3f}s "
+                    f"({straggler.median_ratio:.1f}x median chunk)"
+                )
+            if analysis.orphans:
+                print(
+                    f"  note: {analysis.orphans} span(s) had dropped "
+                    "parents (retention cap) and were promoted to roots"
+                )
+        if args.collapsed_out:
+            from repro.obs import write_collapsed
+
+            write_collapsed(args.collapsed_out, spans)
+            print(f"collapsed stacks written to {args.collapsed_out}")
+    elif args.analyze or args.collapsed_out:
+        print(
+            "--analyze/--collapsed-out need --trace-in",
+            file=sys.stderr,
+        )
+        return 2
     if args.metrics_in:
         with open(args.metrics_in, "r", encoding="utf-8") as handle:
             metrics = json.load(handle)
@@ -428,7 +495,7 @@ def main(argv=None) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     runs = []
     payloads: Dict[str, dict] = {}
-    with obs_context() as obs:
+    with obs_context(profile=args.profile) as obs:
         for name in names:
             record: dict = {}
             start = time.perf_counter()

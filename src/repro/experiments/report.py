@@ -130,6 +130,78 @@ def trace_summary_table(span_dicts: Sequence[dict]) -> Table:
     return table
 
 
+def self_time_table(analysis) -> Table:
+    """Per-name self/total time table for a :class:`TraceAnalysis`.
+
+    Self time is the part of a span not covered by its children -- the
+    column that actually localizes cost, since inclusive totals double
+    count every ancestor of a hot leaf.
+    """
+    total_self = sum(a.self_s for a in analysis.aggregates) or 1.0
+    table = Table(
+        title="Trace -- per-span self time (heaviest first)",
+        headers=(
+            "span", "count", "self (s)", "self %", "total (s)",
+            "mean (s)", "max (s)",
+        ),
+    )
+    for aggregate in analysis.aggregates:
+        table.add_row(
+            aggregate.name,
+            aggregate.count,
+            aggregate.self_s,
+            100.0 * aggregate.self_s / total_self,
+            aggregate.total_s,
+            aggregate.mean_s,
+            aggregate.max_s,
+        )
+    return table
+
+
+def critical_path_table(analysis) -> Table:
+    """The heaviest root-to-leaf span chain of a :class:`TraceAnalysis`."""
+    table = Table(
+        title="Trace -- critical path (heaviest chain, root to leaf)",
+        headers=("depth", "span", "total (s)", "self (s)"),
+    )
+    for entry in analysis.critical_path:
+        table.add_row(
+            entry.depth,
+            "  " * entry.depth + entry.name,
+            entry.duration_s,
+            entry.self_s,
+        )
+    return table
+
+
+def occupancy_table(analysis) -> Table:
+    """Worker-lane busy/idle breakdown of a :class:`TraceAnalysis`.
+
+    Utilization is each lane's busy time over the shared chunk window, so
+    an early-finishing worker idling behind a straggler reads directly
+    off the column.
+    """
+    table = Table(
+        title=(
+            "Trace -- worker occupancy over "
+            f"{analysis.window_s:.3f}s chunk window"
+        ),
+        headers=(
+            "worker", "chunks", "busy (s)", "util %", "idle (s)", "gaps",
+        ),
+    )
+    for lane in analysis.lanes:
+        table.add_row(
+            lane.worker,
+            lane.chunks,
+            lane.busy_s,
+            100.0 * lane.utilization,
+            lane.idle_s,
+            lane.idle_gaps,
+        )
+    return table
+
+
 def metrics_table(metrics_dict: dict) -> Table:
     """Render a ``MetricsRegistry.to_dict()`` snapshot as one table.
 

@@ -10,6 +10,12 @@ Three complementary surfaces, all scoped to an :class:`ObsContext` (a
   cache hits, chunk wall-times, envelope-peak distribution).
 * :mod:`repro.obs.manifest` -- JSON run manifests (configs, seeds, git
   rev, versions, metric summary); answers *how do I reproduce this table*.
+* :mod:`repro.obs.analyze` -- trace analytics over exported spans
+  (self-time aggregates, critical path, worker occupancy, collapsed-stack
+  flamegraph export); answers *why was it slow*.
+* :mod:`repro.obs.history` -- append-only benchmark history with robust
+  (median/MAD) baselines and the regression sentinel that gates CI;
+  answers *did this change make it slower*.
 
 The runtime (:mod:`repro.runtime`) records into whatever context is
 current; the experiments CLI opens a scope per invocation and offers
@@ -18,11 +24,27 @@ current; the experiments CLI opens a scope per invocation and offers
 the span and metric name inventory.
 """
 
+from repro.obs.analyze import (
+    TraceAnalysis,
+    analyze_trace,
+    collapsed_stacks,
+    write_collapsed,
+)
 from repro.obs.context import (
     ObsContext,
     current_obs,
     default_obs,
     obs_context,
+)
+from repro.obs.history import (
+    HISTORY_SCHEMA_VERSION,
+    append_history,
+    detect_regressions,
+    env_fingerprint,
+    history_entry,
+    read_history,
+    trend_report,
+    validate_history_entry,
 )
 from repro.obs.manifest import (
     MANIFEST_SCHEMA_VERSION,
@@ -41,6 +63,7 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "HISTORY_SCHEMA_VERSION",
     "MANIFEST_SCHEMA_VERSION",
     "Counter",
     "Gauge",
@@ -48,15 +71,26 @@ __all__ = [
     "MetricsRegistry",
     "ObsContext",
     "Span",
+    "TraceAnalysis",
     "Tracer",
+    "analyze_trace",
+    "append_history",
     "build_manifest",
+    "collapsed_stacks",
     "current_obs",
     "default_obs",
+    "detect_regressions",
+    "env_fingerprint",
+    "history_entry",
     "obs_context",
+    "read_history",
     "read_jsonl",
     "read_manifest",
     "run_record",
+    "trend_report",
+    "validate_history_entry",
     "validate_manifest",
     "validate_span_dict",
+    "write_collapsed",
     "write_manifest",
 ]

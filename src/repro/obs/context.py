@@ -43,11 +43,18 @@ STATE_VERSION = 1
 
 @dataclass
 class ObsContext:
-    """One run's tracer + metrics registry + stage instrumentation."""
+    """One run's tracer + metrics registry + stage instrumentation.
+
+    ``profile`` opts the runtime into its pool-profiling hooks (dispatch
+    latency, queue wait, chunk skew, serialization overhead -- see
+    :mod:`repro.runtime.runner`).  It defaults off and every hook is
+    gated on it, so un-profiled runs pay only a boolean check.
+    """
 
     tracer: Tracer
     metrics: MetricsRegistry
     instrumentation: Any  # repro.runtime.instrument.Instrumentation
+    profile: bool = False
 
     @contextmanager
     def stage_span(self, name: str, trials: int = 0, **attrs: Any) -> Iterator[Any]:
@@ -84,7 +91,9 @@ class ObsContext:
         self.tracer.absorb(payload.get("spans") or [], extra_attrs=extra_attrs)
 
 
-def _new_context(max_spans: Optional[int] = None) -> ObsContext:
+def _new_context(
+    max_spans: Optional[int] = None, profile: bool = False
+) -> ObsContext:
     # Lazy import: repro.runtime.instrument's get_instrumentation() shim
     # reaches back into this module, so the class is resolved at call time.
     from repro.runtime.instrument import Instrumentation
@@ -93,6 +102,7 @@ def _new_context(max_spans: Optional[int] = None) -> ObsContext:
         tracer=Tracer(max_spans=max_spans),
         metrics=MetricsRegistry(),
         instrumentation=Instrumentation(),
+        profile=profile,
     )
 
 
@@ -120,14 +130,20 @@ def current_obs() -> ObsContext:
 def obs_context(
     context: Optional[ObsContext] = None,
     max_spans: Optional[int] = None,
+    profile: bool = False,
 ) -> Iterator[ObsContext]:
     """Run a block under a fresh (or supplied) observability context.
 
     Everything the runtime records inside the block -- spans, metrics,
     stage timings, worker payload merges -- lands in the yielded context
-    and nowhere else.
+    and nowhere else.  ``profile=True`` turns on the runtime's
+    pool-profiling hooks for the scope.
     """
-    context = context if context is not None else _new_context(max_spans=max_spans)
+    context = (
+        context
+        if context is not None
+        else _new_context(max_spans=max_spans, profile=profile)
+    )
     token = _CURRENT.set(context)
     try:
         yield context

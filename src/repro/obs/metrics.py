@@ -10,8 +10,16 @@ the Monte-Carlo runtime needs:
   their registries back over the pool-result path;
 * **merging** -- :meth:`MetricsRegistry.merge` combines a worker's
   registry into the parent's (counters add, histograms add bucket-wise,
-  gauges take the incoming value), which is what makes ``--timings`` and
-  ``--metrics-out`` complete under ``--workers N``.
+  numeric gauges take the maximum, non-numeric gauges last-writer), which
+  is what makes ``--timings`` and ``--metrics-out`` complete under
+  ``--workers N``.
+
+Gauge merge semantics are pinned deterministic: **numeric gauges merge by
+maximum**, which is commutative, so the merged value is independent of the
+order worker registries arrive in.  Non-numeric gauges (mode strings,
+labels) have no commutative combine; they stay **last-writer-wins**, and
+the runner makes that deterministic by merging worker payloads in span
+order (submission order), never completion order.
 
 Histograms use *fixed* bucket edges declared at first creation; merging
 registries with mismatched edges is an error, not a silent re-bin.
@@ -200,14 +208,28 @@ class MetricsRegistry:
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold ``other`` into this registry (worker -> parent direction).
 
-        Counters and histograms accumulate; gauges take the incoming value
-        when one is set. Histogram bucket edges must match.
+        Counters and histograms accumulate; histogram bucket edges must
+        match.  Gauges merge deterministically (see the module docstring):
+        numeric values combine by ``max`` -- commutative, so any worker
+        merge order yields the same result -- while non-numeric values
+        stay last-writer-wins (the runner merges in span order, which
+        pins "last" independent of pool completion order).
         """
         for name, counter in other._counters.items():
             self.counter(name).inc(counter.value)
         for name, gauge in other._gauges.items():
-            if gauge.value is not None:
-                self.gauge(name).set(gauge.value)
+            if gauge.value is None:
+                continue
+            mine = self.gauge(name)
+            if (
+                isinstance(gauge.value, (int, float))
+                and not isinstance(gauge.value, bool)
+                and isinstance(mine.value, (int, float))
+                and not isinstance(mine.value, bool)
+            ):
+                mine.set(max(mine.value, gauge.value))
+            else:
+                mine.set(gauge.value)
         for name, theirs in other._histograms.items():
             mine = self._histograms.get(name)
             if mine is None:

@@ -73,6 +73,9 @@ antennas); power-up peaks are field amplitudes scaled by
 ``sqrt(60 * EIRP)``, hence the wide geometric span.
 """
 
+CHUNK_TRIALS_EDGES = (1.0, 8.0, 32.0, 128.0, 512.0, 2048.0, 8192.0)
+"""Bucket edges of the opt-in ``engine.chunk_trials`` profile histogram."""
+
 DIRECT_CHUNK_ELEMENTS = 1_000_000
 """Cap on the ``(rows, N, T)`` complex working set of one direct chunk."""
 
@@ -246,6 +249,22 @@ def _blind_peaks(
     return out
 
 
+def _profile_chunk(obs, count: int, *arrays: np.ndarray) -> None:
+    """Record one chunk's trial count and working-set bytes (opt-in).
+
+    Only called when ``obs.profile`` is set (the CLI's ``--profile``), so
+    the default path pays a single boolean check.  The byte counter sums
+    the chunk's realized batch arrays, making the engine's memory traffic
+    visible next to the runner's serialization overhead.
+    """
+    obs.metrics.histogram(
+        "engine.chunk_trials", CHUNK_TRIALS_EDGES
+    ).observe(count)
+    obs.metrics.counter("engine.batch_bytes").inc(
+        float(sum(int(array.nbytes) for array in arrays))
+    )
+
+
 def _fault_injector(fault_plan: Optional["FaultPlan"], seed: int):
     """A live injector for ``fault_plan``, or None when nothing injects.
 
@@ -365,6 +384,11 @@ def measure_gain_chunk(
                         0.0, residual_std, size=n_antennas
                     )
 
+    if obs.profile:
+        _profile_chunk(
+            obs, count, gains_rows, cib_betas, cib_amps,
+            blind_phases, blind_residuals,
+        )
     with obs.stage_span("gain_trials.evaluate", trials=count, tier=tier):
         if injector is not None:
             cib_peaks, _ = _faulted_peaks(
@@ -449,6 +473,8 @@ def power_up_chunk(
             )
             amplitudes[index] = field_scale * np.abs(gains) * plan_amps
 
+    if obs.profile:
+        _profile_chunk(obs, count, betas, amplitudes)
     with obs.stage_span("power_up.evaluate", trials=count, tier=tier):
         if injector is not None:
             peak_fields, voltage_scales = _faulted_peaks(
@@ -591,6 +617,8 @@ def wakeup_latency_chunk(
                 # to keep the per-trial stream aligned.
                 rng.integers(0, 2, 96)
 
+    if obs.profile:
+        _profile_chunk(obs, count, betas, amplitudes)
     with obs.stage_span("wakeup.evaluate", trials=count):
         voltage_scales = None
         if injector is not None:

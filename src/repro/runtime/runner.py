@@ -24,9 +24,21 @@ Chunk functions must be picklable for ``workers > 1`` (module-level
 functions bound with :func:`functools.partial`, dataclass factories). A
 non-picklable function degrades to the in-process path with a warning
 rather than failing the experiment.
+
+**Profiling hooks** (opt-in via ``ObsContext.profile``, the CLI's
+``--profile``): when enabled, the runner separates orchestration cost from
+kernel time -- per-chunk **queue wait** (submit to worker pickup, measured
+in the worker against the parent's monotonic timestamp; ``perf_counter``
+is CLOCK_MONOTONIC system-wide on Linux), **dispatch latency** (submit to
+result arrival minus the chunk's own wall clock, i.e. pure round-trip
+overhead), **serialization overhead** (pickling the chunk function and
+each result, with byte counters), and **chunk skew** gauges
+(max-min wall and max/median ratio across the pool's chunks). Everything
+is gated on one boolean so un-profiled runs pay nothing measurable.
 """
 
 import math
+import os
 import pickle
 import time
 import traceback
@@ -42,6 +54,11 @@ CHUNK_WALL_HIST_EDGES = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
 )
 """Fixed bucket edges (seconds) of the ``runner.chunk_wall_s`` histogram."""
+
+PROFILE_WAIT_EDGES = (
+    1e-5, 1e-4, 1e-3, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+)
+"""Bucket edges (seconds) of the profiling wait/overhead histograms."""
 
 
 def _run_chunk(
@@ -84,17 +101,39 @@ def _pool_chunk(
     label: str,
     start: int,
     count: int,
+    profile: bool = False,
+    submit_s: Optional[float] = None,
 ) -> Tuple[Any, Dict[str, Any]]:
     """Worker-process entry: run the chunk in a fresh observability context.
 
     Returns ``(chunk result, ObsContext.export_state() payload)`` so the
     parent can merge the worker's stage stats, metrics and spans. A fresh
     context (rather than whatever the fork inherited) keeps worker
-    telemetry isolated and double-count-free.
+    telemetry isolated and double-count-free.  The payload additionally
+    carries the worker ``pid`` so the parent can stamp absorbed spans with
+    their execution lane (occupancy analysis keys on it).  Under
+    ``profile``, the time between the parent's ``submit_s`` and chunk
+    pickup is recorded as queue wait.
     """
-    with obs_context() as obs:
+    with obs_context(profile=profile) as obs:
+        if profile and submit_s is not None:
+            obs.metrics.histogram(
+                "runner.queue_wait_s", PROFILE_WAIT_EDGES
+            ).observe(max(0.0, time.perf_counter() - submit_s))
         result = _run_chunk(fn, start, count, obs, label)
-    return result, obs.export_state()
+    state = obs.export_state()
+    state["pid"] = os.getpid()
+    return result, state
+
+
+def _chunk_wall_from_state(
+    state: Dict[str, Any], label: str
+) -> Optional[float]:
+    """The chunk root span's wall clock inside a worker's telemetry."""
+    for span in state.get("spans") or []:
+        if span.get("name") == label and span.get("parent_id") is None:
+            return float(span.get("duration_s") or 0.0)
+    return None
 
 
 class TrialRunner:
@@ -192,17 +231,41 @@ class TrialRunner:
                 for start, count in spans
             ]
         max_workers = min(self.workers, len(spans))
-        wrapped = partial(_pool_chunk, fn, label)
+        profile = bool(getattr(obs, "profile", False))
+        wrapped = partial(_pool_chunk, fn, label, profile=profile)
+        if profile:
+            began = time.perf_counter()
+            payload = pickle.dumps(wrapped)
+            obs.metrics.histogram(
+                "runner.serialize_s", PROFILE_WAIT_EDGES
+            ).observe(time.perf_counter() - began)
+            obs.metrics.counter("runner.serialized_bytes").inc(len(payload))
+        chunk_walls: List[float] = []
         with obs.tracer.span(
             "runner.pool", workers=max_workers, chunks=len(spans)
         ):
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                futures = [
-                    pool.submit(wrapped, start, count)
-                    for start, count in spans
-                ]
+                futures = []
+                submit_times = []
+                for start, count in spans:
+                    submit_s = time.perf_counter()
+                    futures.append(
+                        pool.submit(
+                            wrapped,
+                            start,
+                            count,
+                            submit_s=submit_s if profile else None,
+                        )
+                    )
+                    submit_times.append(submit_s)
                 results = []
-                for future, (start, count) in zip(futures, spans):
+                # Results are consumed (and telemetry merged) in span
+                # order, never completion order -- that is what keeps
+                # last-writer gauge merges deterministic under any pool
+                # scheduling.
+                for future, (start, count), submit_s in zip(
+                    futures, spans, submit_times
+                ):
                     try:
                         result, telemetry = future.result()
                     except Exception as exc:
@@ -210,11 +273,73 @@ class TrialRunner:
                             self._retry_chunk(fn, start, count, obs, label, exc)
                         )
                         continue
+                    arrival_s = time.perf_counter()
                     obs.absorb_state(
-                        telemetry, extra_attrs={"subprocess": True}
+                        telemetry,
+                        extra_attrs={
+                            "subprocess": True,
+                            "worker": telemetry.get("pid"),
+                        },
                     )
+                    if profile:
+                        self._profile_result(
+                            obs,
+                            telemetry,
+                            label,
+                            result,
+                            arrival_s - submit_s,
+                            chunk_walls,
+                        )
                     results.append(result)
+        if profile and len(chunk_walls) >= 2:
+            chunk_walls.sort()
+            mid = len(chunk_walls) // 2
+            median = (
+                chunk_walls[mid]
+                if len(chunk_walls) % 2
+                else 0.5 * (chunk_walls[mid - 1] + chunk_walls[mid])
+            )
+            obs.metrics.gauge("runner.chunk_skew_s").set(
+                chunk_walls[-1] - chunk_walls[0]
+            )
+            if median > 0:
+                obs.metrics.gauge("runner.chunk_skew_ratio").set(
+                    chunk_walls[-1] / median
+                )
         return results
+
+    @staticmethod
+    def _profile_result(
+        obs: ObsContext,
+        telemetry: Dict[str, Any],
+        label: str,
+        result: Any,
+        roundtrip_s: float,
+        chunk_walls: List[float],
+    ) -> None:
+        """Record per-chunk profiling metrics in the parent (opt-in).
+
+        Dispatch latency is the round trip minus the chunk's own wall
+        clock: queueing, argument/result pickling, and IPC -- the pool's
+        pure orchestration overhead for that chunk.  Result serialization
+        is re-measured here (one extra pickle per chunk); that cost only
+        exists under ``--profile``.
+        """
+        wall = _chunk_wall_from_state(telemetry, label)
+        if wall is not None:
+            chunk_walls.append(wall)
+            obs.metrics.histogram(
+                "runner.dispatch_latency_s", PROFILE_WAIT_EDGES
+            ).observe(max(0.0, roundtrip_s - wall))
+        try:
+            began = time.perf_counter()
+            payload = pickle.dumps(result)
+        except Exception:  # unpicklable results never reach this path
+            return
+        obs.metrics.histogram(
+            "runner.serialize_s", PROFILE_WAIT_EDGES
+        ).observe(time.perf_counter() - began)
+        obs.metrics.counter("runner.result_bytes").inc(len(payload))
 
     def _retry_chunk(
         self,

@@ -1,0 +1,228 @@
+"""Unit tests for trace analytics: trees, self time, occupancy, stacks."""
+
+import re
+
+from repro.obs.analyze import (
+    aggregate_spans,
+    analyze_trace,
+    build_span_tree,
+    collapsed_stacks,
+    critical_path,
+    worker_occupancy,
+    write_collapsed,
+)
+from repro.obs.trace import Tracer
+
+
+def span(span_id, name, t0, t1, parent=None, **attrs):
+    """One exported span dict with synthetic timestamps.
+
+    Chunk spans carry ``start``/``count`` *attrs*, hence the ``t0``/``t1``
+    names for the timestamps.
+    """
+    return {
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent,
+        "start_s": float(t0),
+        "end_s": float(t1),
+        "duration_s": max(0.0, float(t1) - float(t0)),
+        "attrs": attrs,
+    }
+
+
+class TestBuildSpanTree:
+    def test_children_attach_and_sort_by_start(self):
+        roots, orphans = build_span_tree(
+            [
+                span(1, "root", 0.0, 10.0),
+                span(3, "late", 6.0, 9.0, parent=1),
+                span(2, "early", 1.0, 4.0, parent=1),
+            ]
+        )
+        assert orphans == 0
+        assert [r.name for r in roots] == ["root"]
+        assert [c.name for c in roots[0].children] == ["early", "late"]
+
+    def test_orphans_promote_to_roots(self):
+        # Parent id 99 was dropped by the retention cap: the child must
+        # survive as a root (and be counted), not vanish or raise.
+        roots, orphans = build_span_tree(
+            [span(1, "root", 0.0, 1.0), span(2, "lost", 0.2, 0.8, parent=99)]
+        )
+        assert orphans == 1
+        assert sorted(r.name for r in roots) == ["lost", "root"]
+
+    def test_empty_trace_yields_empty_forest(self):
+        assert build_span_tree([]) == ([], 0)
+
+
+class TestSelfTimeAndAggregates:
+    def test_self_time_excludes_direct_children(self):
+        roots, _ = build_span_tree(
+            [
+                span(1, "root", 0.0, 10.0),
+                span(2, "child", 1.0, 4.0, parent=1),
+                span(3, "child", 5.0, 8.0, parent=1),
+            ]
+        )
+        root = roots[0]
+        assert root.duration_s == 10.0
+        assert root.self_s == 4.0  # 10 - (3 + 3)
+
+    def test_self_time_clamps_at_zero(self):
+        # Overlapping children can oversubscribe the parent window.
+        roots, _ = build_span_tree(
+            [
+                span(1, "root", 0.0, 2.0),
+                span(2, "a", 0.0, 2.0, parent=1),
+                span(3, "b", 0.0, 2.0, parent=1),
+            ]
+        )
+        assert roots[0].self_s == 0.0
+
+    def test_aggregates_sum_per_name_and_sort_by_self_time(self):
+        roots, _ = build_span_tree(
+            [
+                span(1, "root", 0.0, 10.0),
+                span(2, "work", 0.0, 3.0, parent=1),
+                span(3, "work", 3.0, 6.0, parent=1),
+            ]
+        )
+        aggregates = aggregate_spans(roots)
+        assert [a.name for a in aggregates] == ["work", "root"]
+        work = aggregates[0]
+        assert work.count == 2
+        assert work.total_s == 6.0
+        assert work.self_s == 6.0
+        assert work.max_s == 3.0
+        assert work.mean_s == 3.0
+        assert aggregates[1].self_s == 4.0
+
+
+class TestCriticalPath:
+    def test_descends_heaviest_child_from_heaviest_root(self):
+        roots, _ = build_span_tree(
+            [
+                span(1, "small-root", 0.0, 1.0),
+                span(2, "big-root", 0.0, 10.0),
+                span(3, "light", 0.0, 2.0, parent=2),
+                span(4, "heavy", 2.0, 9.0, parent=2),
+                span(5, "leaf", 2.5, 8.0, parent=4),
+            ]
+        )
+        path = critical_path(roots)
+        assert [(e.name, e.depth) for e in path] == [
+            ("big-root", 0),
+            ("heavy", 1),
+            ("leaf", 2),
+        ]
+        assert path[1].self_s == 7.0 - 5.5
+
+    def test_empty_forest_has_no_path(self):
+        assert critical_path([]) == []
+
+
+class TestWorkerOccupancy:
+    def _chunked(self):
+        # Two lanes over a shared 0..10 window; lane "A" idles 4s between
+        # its chunks, lane "B" runs one long straggler chunk.
+        return build_span_tree(
+            [
+                span(1, "chunk", 0.0, 2.0, start=0, count=8, worker="A"),
+                span(2, "chunk", 6.0, 8.0, start=8, count=8, worker="A"),
+                span(3, "chunk", 0.0, 10.0, start=16, count=8, worker="B"),
+            ]
+        )[0]
+
+    def test_lanes_split_by_worker_attr(self):
+        lanes, _, window_s = worker_occupancy(self._chunked())
+        assert window_s == 10.0
+        by_worker = {lane.worker: lane for lane in lanes}
+        assert by_worker["A"].chunks == 2
+        assert by_worker["A"].busy_s == 4.0
+        assert by_worker["A"].utilization == 0.4
+        assert by_worker["A"].idle_s == 4.0
+        assert by_worker["A"].idle_gaps == 1
+        assert by_worker["B"].utilization == 1.0
+        assert by_worker["B"].idle_s == 0.0
+
+    def test_idle_gap_threshold_filters_short_gaps(self):
+        lanes, _, _ = worker_occupancy(self._chunked(), idle_gap_min_s=5.0)
+        by_worker = {lane.worker: lane for lane in lanes}
+        assert by_worker["A"].idle_gaps == 0
+        assert by_worker["A"].idle_s == 4.0  # still accumulated
+
+    def test_straggler_detection_vs_median(self):
+        _, stragglers, _ = worker_occupancy(self._chunked())
+        assert [s.worker for s in stragglers] == ["B"]
+        assert stragglers[0].median_ratio == 5.0
+        assert stragglers[0].count == 8
+
+    def test_spans_without_chunk_attrs_are_ignored(self):
+        roots, _ = build_span_tree([span(1, "not-a-chunk", 0.0, 1.0)])
+        assert worker_occupancy(roots) == ([], [], 0.0)
+
+    def test_missing_worker_attr_falls_back_to_lane_names(self):
+        roots, _ = build_span_tree(
+            [
+                span(1, "chunk", 0.0, 1.0, start=0, count=4),
+                span(2, "chunk", 1.0, 2.0, start=4, count=4, subprocess=True),
+            ]
+        )
+        lanes, _, _ = worker_occupancy(roots)
+        assert sorted(lane.worker for lane in lanes) == ["main", "subprocess"]
+
+
+class TestCollapsedStacks:
+    def test_paths_join_with_semicolons_and_sum_self_micros(self):
+        stacks = collapsed_stacks(
+            [
+                span(1, "root", 0.0, 1.0),
+                span(2, "leaf", 0.0, 0.25, parent=1),
+                span(3, "leaf", 0.5, 0.75, parent=1),
+            ]
+        )
+        assert stacks == {"root": 500_000, "root;leaf": 500_000}
+
+    def test_zero_self_time_stacks_are_omitted(self):
+        stacks = collapsed_stacks(
+            [span(1, "root", 0.0, 1.0), span(2, "leaf", 0.0, 1.0, parent=1)]
+        )
+        assert "root" not in stacks
+        assert stacks == {"root;leaf": 1_000_000}
+
+    def test_written_file_is_speedscope_loadable_format(self, tmp_path):
+        path = tmp_path / "trace.collapsed"
+        write_collapsed(
+            path,
+            [
+                span(1, "root", 0.0, 1.0),
+                span(2, "leaf", 0.0, 0.5, parent=1),
+            ],
+        )
+        lines = path.read_text().splitlines()
+        assert lines  # non-empty
+        for line in lines:
+            assert re.match(r"^\S.* \d+$", line)
+
+
+class TestAnalyzeTraceEndToEnd:
+    def test_real_tracer_round_trip(self):
+        parent = Tracer()
+        worker = Tracer()
+        with worker.span("runner.chunk", start=0, count=4):
+            pass
+        with parent.span("cli.experiment"):
+            with parent.span("runner.pool"):
+                parent.absorb(
+                    worker.to_dicts(),
+                    extra_attrs={"subprocess": True, "worker": 4242},
+                )
+        analysis = analyze_trace(parent.to_dicts())
+        assert analysis.span_count == 3
+        assert analysis.orphans == 0
+        assert analysis.critical_path[0].name == "cli.experiment"
+        assert [lane.worker for lane in analysis.lanes] == ["4242"]
+        names = {a.name for a in analysis.aggregates}
+        assert names == {"cli.experiment", "runner.pool", "runner.chunk"}

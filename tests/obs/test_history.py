@@ -1,0 +1,270 @@
+"""Unit tests for benchmark history: entries, baselines, the sentinel."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.history import (
+    HISTORY_SCHEMA_VERSION,
+    append_history,
+    detect_regressions,
+    env_fingerprint,
+    fingerprint_hash,
+    history_entry,
+    metric_series,
+    read_history,
+    robust_baseline,
+    trend_report,
+    validate_history_entry,
+)
+
+_TOOLS = Path(__file__).resolve().parents[2] / "tools"
+
+
+def payload(wall_s=1.0, rate=100.0, bench="bench_a", env=None):
+    """A minimal BENCH_runtime.json-shaped payload."""
+    return {
+        "total_wall_s": wall_s,
+        "git_rev": "abc123",
+        "env": env or {"python": "3.12.0", "numpy": "2.0.0", "cpu_count": 4},
+        "benches": [
+            {"bench": bench, "wall_s": wall_s, "trials_per_s": rate}
+        ],
+    }
+
+
+def seeded_history(path, walls, rate=100.0, env=None):
+    """Append one entry per wall time; returns the entries read back."""
+    for index, wall in enumerate(walls):
+        entry = history_entry(
+            payload(wall_s=wall, rate=rate, env=env),
+            created_unix_s=1_700_000_000.0 + index,
+        )
+        append_history(path, entry)
+    return read_history(path)
+
+
+class TestEntriesAndValidation:
+    def test_round_trip_through_jsonl(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        entries = seeded_history(path, [1.0, 1.1])
+        assert len(entries) == 2
+        for entry in entries:
+            assert validate_history_entry(entry) == []
+            assert entry["schema_version"] == HISTORY_SCHEMA_VERSION
+            assert entry["git_rev"] == "abc123"
+            assert entry["fingerprint"] == fingerprint_hash(entry["env"])
+
+    def test_missing_file_reads_as_empty_history(self, tmp_path):
+        assert read_history(tmp_path / "absent.jsonl") == []
+
+    def test_missing_keys_and_future_versions_rejected(self):
+        assert any(
+            "missing key" in p for p in validate_history_entry({"env": {}})
+        )
+        entry = history_entry(payload())
+        entry["schema_version"] = HISTORY_SCHEMA_VERSION + 1
+        assert any("newer" in p for p in validate_history_entry(entry))
+
+    def test_empty_benches_rejected(self):
+        entry = history_entry({"total_wall_s": 0.0, "benches": []})
+        assert any("non-empty" in p for p in validate_history_entry(entry))
+
+    def test_fingerprint_differs_across_environments(self):
+        a = env_fingerprint()
+        b = dict(a, python="0.0.0")
+        assert fingerprint_hash(a) != fingerprint_hash(b)
+        assert len(fingerprint_hash(a)) == 12
+
+
+class TestBaselines:
+    def test_median_and_mad(self):
+        baseline = robust_baseline("b", "wall_s", [1.0, 1.2, 1.1, 9.0])
+        # Median of [1.0, 1.1, 1.2, 9.0] = 1.15; the outlier barely
+        # shifts the center and inflates MAD only mildly.
+        assert baseline.median == pytest.approx(1.15)
+        assert baseline.mad == pytest.approx(0.1)
+        assert baseline.samples == 4
+
+    def test_metric_series_filters_by_fingerprint(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        env_a = {"python": "3.12.0", "numpy": "2.0.0", "cpu_count": 4}
+        env_b = {"python": "3.10.0", "numpy": "1.26.0", "cpu_count": 2}
+        seeded_history(path, [1.0, 1.0], env=env_a)
+        seeded_history(path, [50.0], env=env_b)
+        entries = read_history(path)
+        series = metric_series(
+            entries, "bench_a", "wall_s", fingerprint=fingerprint_hash(env_a)
+        )
+        assert series == [1.0, 1.0]
+        assert metric_series(entries, "bench_a", "wall_s") == [1.0, 1.0, 50.0]
+
+
+class TestDetectRegressions:
+    def _entries(self, tmp_path, walls=(1.0, 1.02, 0.98)):
+        return seeded_history(tmp_path / "history.jsonl", list(walls))
+
+    def test_thirty_percent_slowdown_is_flagged(self, tmp_path):
+        entries = self._entries(tmp_path)
+        rows = [{"bench": "bench_a", "wall_s": 1.3, "trials_per_s": 77.0}]
+        findings = detect_regressions(rows, entries)
+        status = {(f.metric): f.status for f in findings}
+        assert status["wall_s"] == "regression"
+        assert status["trials_per_s"] == "regression"
+
+    def test_small_jitter_is_ok(self, tmp_path):
+        entries = self._entries(tmp_path)
+        rows = [{"bench": "bench_a", "wall_s": 1.05, "trials_per_s": 98.0}]
+        findings = detect_regressions(rows, entries)
+        assert {f.status for f in findings} == {"ok"}
+
+    def test_speedup_is_an_improvement_not_a_regression(self, tmp_path):
+        entries = self._entries(tmp_path)
+        rows = [{"bench": "bench_a", "wall_s": 0.5, "trials_per_s": 200.0}]
+        findings = detect_regressions(rows, entries)
+        assert {f.status for f in findings} == {"improvement"}
+
+    def test_thin_history_yields_no_baseline(self, tmp_path):
+        entries = self._entries(tmp_path, walls=(1.0,))
+        rows = [{"bench": "bench_a", "wall_s": 99.0}]
+        findings = detect_regressions(rows, entries, min_samples=3)
+        assert [f.status for f in findings] == ["no-baseline"]
+        # min_samples=1 turns the same history into a gating baseline.
+        findings = detect_regressions(rows, entries, min_samples=1)
+        assert findings[0].status == "regression"
+
+    def test_other_environments_never_pollute_the_baseline(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        env_a = {"python": "3.12.0", "numpy": "2.0.0", "cpu_count": 4}
+        env_slow = {"python": "3.10.0", "numpy": "1.26.0", "cpu_count": 1}
+        seeded_history(path, [1.0, 1.0, 1.0], env=env_a)
+        seeded_history(path, [10.0, 10.0, 10.0], env=env_slow)
+        rows = [{"bench": "bench_a", "wall_s": 1.31}]
+        findings = detect_regressions(
+            rows, read_history(path), fingerprint=fingerprint_hash(env_a)
+        )
+        wall = [f for f in findings if f.metric == "wall_s"][0]
+        assert wall.status == "regression"
+        assert wall.baseline.median == 1.0
+
+    def test_min_rel_floor_suppresses_zero_mad_noise(self, tmp_path):
+        # Bit-stable baseline: MAD is 0, so only the relative floor
+        # separates jitter from regression.
+        entries = self._entries(tmp_path, walls=(1.0, 1.0, 1.0))
+        rows = [{"bench": "bench_a", "wall_s": 1.1}]
+        findings = detect_regressions(rows, entries, min_rel=0.15)
+        wall = [f for f in findings if f.metric == "wall_s"][0]
+        assert wall.status == "ok"
+        findings = detect_regressions(rows, entries, min_rel=0.05)
+        wall = [f for f in findings if f.metric == "wall_s"][0]
+        assert wall.status == "regression"
+
+
+class TestTrendReport:
+    def test_regressions_sort_first_and_counts_summarize(self, tmp_path):
+        entries = seeded_history(tmp_path / "h.jsonl", [1.0, 1.0, 1.0])
+        rows = [
+            {"bench": "bench_a", "wall_s": 1.5, "trials_per_s": 100.0},
+            {"bench": "bench_new", "wall_s": 0.1},
+        ]
+        findings = detect_regressions(rows, entries)
+        report = trend_report(rows, findings)
+        assert report.startswith("# Benchmark trend report")
+        assert "1 regression" in report
+        assert "1 no-baseline" in report
+        table_rows = [l for l in report.splitlines() if l.startswith("| bench_")]
+        assert "regression" in table_rows[0]
+
+
+class TestBenchSentinelCli:
+    @pytest.fixture
+    def sentinel(self, monkeypatch):
+        monkeypatch.syspath_prepend(str(_TOOLS))
+        import bench_sentinel
+
+        return bench_sentinel
+
+    def _snapshot(self, tmp_path, wall_s=1.0):
+        import json
+
+        path = tmp_path / "BENCH_runtime.json"
+        path.write_text(json.dumps(payload(wall_s=wall_s)))
+        return path
+
+    def test_append_then_check_passes_on_own_baseline(
+        self, sentinel, tmp_path, capsys
+    ):
+        bench = self._snapshot(tmp_path)
+        history = tmp_path / "history.jsonl"
+        assert (
+            sentinel.main(
+                ["append", "--bench", str(bench), "--history", str(history)]
+            )
+            == 0
+        )
+        assert (
+            sentinel.main(
+                [
+                    "check",
+                    "--bench",
+                    str(bench),
+                    "--history",
+                    str(history),
+                    "--min-samples",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert "benchmarks OK" in capsys.readouterr().out
+
+    def test_injected_slowdown_fires_the_gate(self, sentinel, tmp_path):
+        bench = self._snapshot(tmp_path)
+        history = tmp_path / "history.jsonl"
+        sentinel.main(
+            ["append", "--bench", str(bench), "--history", str(history)]
+        )
+        base = [
+            "check",
+            "--bench",
+            str(bench),
+            "--history",
+            str(history),
+            "--min-samples",
+            "1",
+        ]
+        # The slowdown alone fails the gate; with --expect-regression the
+        # exit code inverts, which is the CI self-test.
+        assert sentinel.main(base + ["--inject-slowdown", "0.3"]) == 1
+        assert (
+            sentinel.main(
+                base + ["--inject-slowdown", "0.3", "--expect-regression"]
+            )
+            == 0
+        )
+        assert sentinel.main(base + ["--expect-regression"]) == 1
+
+    def test_report_writes_markdown_trend(self, sentinel, tmp_path):
+        bench = self._snapshot(tmp_path)
+        history = tmp_path / "history.jsonl"
+        sentinel.main(
+            ["append", "--bench", str(bench), "--history", str(history)]
+        )
+        out = tmp_path / "trend.md"
+        assert (
+            sentinel.main(
+                [
+                    "report",
+                    "--bench",
+                    str(bench),
+                    "--history",
+                    str(history),
+                    "--min-samples",
+                    "1",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert "# Benchmark trend report" in out.read_text()

@@ -105,6 +105,45 @@ class TestSerializationAndMerge:
         assert parent.counter("trials").value == 10
         assert parent.gauge("workers").value == 2
 
+    def test_numeric_gauge_merge_takes_max_in_any_order(self):
+        # Numeric gauges (peak RSS, chunk skew) merge commutatively:
+        # whichever side absorbs the other, the peak survives.
+        low, high = MetricsRegistry(), MetricsRegistry()
+        low.gauge("peak").set(3.0)
+        high.gauge("peak").set(7.0)
+        forward = MetricsRegistry.from_dict(low.to_dict())
+        forward.merge(high)
+        backward = MetricsRegistry.from_dict(high.to_dict())
+        backward.merge(low)
+        assert forward.gauge("peak").value == 7.0
+        assert backward.gauge("peak").value == 7.0
+
+    def test_non_numeric_gauge_merge_is_last_writer(self):
+        parent = MetricsRegistry()
+        parent.gauge("tier").set("direct")
+        worker = MetricsRegistry()
+        worker.gauge("tier").set("fft")
+        parent.merge(worker)
+        assert parent.gauge("tier").value == "fft"
+
+    def test_unset_gauge_never_clobbers_a_value(self):
+        parent = MetricsRegistry()
+        parent.gauge("tier").set("direct")
+        worker = MetricsRegistry()
+        worker.gauge("tier")  # touched but never set
+        parent.merge(worker)
+        assert parent.gauge("tier").value == "direct"
+
+    def test_bool_gauges_follow_last_writer_not_max(self):
+        # True/False is a flag, not a magnitude: max() would pin it True
+        # forever once any worker set it.
+        parent = MetricsRegistry()
+        parent.gauge("flag").set(True)
+        worker = MetricsRegistry()
+        worker.gauge("flag").set(False)
+        parent.merge(worker)
+        assert parent.gauge("flag").value is False
+
     def test_merge_rejects_mismatched_edges(self):
         parent = MetricsRegistry()
         parent.histogram("wall", edges=(0.1,))

@@ -118,6 +118,63 @@ class TestRetentionCap:
         with pytest.raises(ValueError):
             Tracer(max_spans=0)
 
+    def test_absorb_past_the_cap_counts_drops(self):
+        parent = Tracer(max_spans=2)
+        with parent.span("a"):
+            pass
+        with parent.span("b"):
+            pass
+        worker = Tracer()
+        for name in ("w1", "w2", "w3"):
+            with worker.span(name):
+                pass
+        parent.absorb(worker.to_dicts(), extra_attrs={"subprocess": True})
+        assert len(parent.spans) == 2
+        assert parent.dropped == 3
+
+    def test_id_remapping_survives_drops(self):
+        # Absorb advances the id counter even for dropped spans, so spans
+        # recorded after clearing the backlog never collide with survivors.
+        parent = Tracer(max_spans=3)
+        with parent.span("kept"):
+            pass
+        worker = Tracer()
+        for name in ("w1", "w2", "w3", "w4"):
+            with worker.span(name):
+                pass
+        parent.absorb(worker.to_dicts())
+        assert parent.dropped == 2
+        parent.clear()
+        with parent.span("later"):
+            pass
+        ids = [span.span_id for span in parent.spans]
+        assert len(ids) == len(set(ids))
+        assert parent.spans[-1].span_id > 4  # past every absorbed worker id
+
+    def test_truncated_trace_exports_valid_jsonl(self, tmp_path):
+        # Children record before their parent; a cap of 2 keeps the first
+        # two inners and drops the third inner plus the outer, so the
+        # export carries unresolved parent_ids -- each line must still be
+        # schema-valid on its own.
+        tracer = Tracer(max_spans=2)
+        with tracer.span("outer"):
+            for index in range(3):
+                with tracer.span(f"inner{index}"):
+                    pass
+        assert tracer.dropped == 2
+        path = tmp_path / "truncated.jsonl"
+        tracer.write_jsonl(path)
+        payloads = read_jsonl(path)
+        assert len(payloads) == 2
+        for payload in payloads:
+            assert validate_span_dict(payload) == []
+        # The analyzer promotes the orphaned children to roots.
+        from repro.obs.analyze import build_span_tree
+
+        roots, orphans = build_span_tree(payloads)
+        assert orphans == 2
+        assert [r.name for r in roots] == ["inner0", "inner1"]
+
 
 class TestValidation:
     def test_missing_key_reported(self):

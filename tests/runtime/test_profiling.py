@@ -1,0 +1,92 @@
+"""Tests for the opt-in pool/engine profiling hooks (``--profile``)."""
+
+import numpy as np
+
+from repro.obs.context import obs_context
+from repro.runtime.engine import _profile_chunk
+from repro.runtime.runner import TrialRunner
+
+PROFILE_HISTOGRAMS = (
+    "runner.queue_wait_s",
+    "runner.dispatch_latency_s",
+    "runner.serialize_s",
+)
+PROFILE_COUNTERS = ("runner.serialized_bytes", "runner.result_bytes")
+
+
+def span_indices(start: int, count: int) -> np.ndarray:
+    """Module-level (hence picklable) chunk function."""
+    return np.arange(start, start + count)
+
+
+class TestProfileOff:
+    def test_pool_records_no_profiling_metrics(self):
+        with obs_context() as obs:
+            TrialRunner(workers=2, chunk_size=4).map_chunks(span_indices, 8)
+            payload = obs.metrics.to_dict()
+        for name in PROFILE_HISTOGRAMS:
+            assert name not in payload["histograms"]
+        for name in PROFILE_COUNTERS:
+            assert name not in payload["counters"]
+        assert "runner.chunk_skew_s" not in payload["gauges"]
+
+    def test_worker_lane_is_stamped_even_without_profile(self):
+        # Occupancy analysis must work on any traced pooled run, so the
+        # worker pid rides the telemetry unconditionally.
+        with obs_context() as obs:
+            TrialRunner(workers=2, chunk_size=4).map_chunks(span_indices, 8)
+            chunks = [
+                s for s in obs.tracer.spans if s.name == "runner.chunk"
+            ]
+        assert len(chunks) == 2
+        for chunk in chunks:
+            assert chunk.attrs["subprocess"] is True
+            assert isinstance(chunk.attrs["worker"], int)
+
+
+class TestProfileOn:
+    def test_pool_records_overhead_metrics_and_skew(self):
+        with obs_context(profile=True) as obs:
+            TrialRunner(workers=2, chunk_size=2).map_chunks(span_indices, 8)
+            payload = obs.metrics.to_dict()
+        for name in PROFILE_HISTOGRAMS:
+            assert payload["histograms"][name]["count"] > 0, name
+        for name in PROFILE_COUNTERS:
+            assert payload["counters"][name] > 0, name
+        # Four chunks give a wall spread, so both skew gauges are set.
+        assert payload["gauges"]["runner.chunk_skew_s"] >= 0.0
+        assert payload["gauges"]["runner.chunk_skew_ratio"] >= 1.0
+
+    def test_queue_wait_is_measured_per_chunk(self):
+        with obs_context(profile=True) as obs:
+            TrialRunner(workers=2, chunk_size=2).map_chunks(span_indices, 8)
+            wait = obs.metrics.histogram("runner.queue_wait_s")
+            assert wait.count == 4
+            assert wait.minimum >= 0.0
+
+    def test_in_process_path_stays_silent(self):
+        # workers=1 never touches the pool, so profiling adds nothing.
+        with obs_context(profile=True) as obs:
+            TrialRunner(workers=1, chunk_size=4).map_chunks(span_indices, 8)
+            payload = obs.metrics.to_dict()
+        for name in PROFILE_HISTOGRAMS:
+            assert name not in payload["histograms"]
+
+    def test_results_identical_with_and_without_profile(self):
+        runner = TrialRunner(workers=2, chunk_size=3)
+        with obs_context():
+            plain = runner.map_chunks(span_indices, 10)
+        with obs_context(profile=True):
+            profiled = runner.map_chunks(span_indices, 10)
+        assert [p.tolist() for p in plain] == [p.tolist() for p in profiled]
+
+
+class TestEngineChunkProfile:
+    def test_records_trials_histogram_and_batch_bytes(self):
+        with obs_context(profile=True) as obs:
+            _profile_chunk(obs, 16, np.zeros(4), np.ones((2, 8)))
+            trials = obs.metrics.histogram("engine.chunk_trials")
+            assert trials.count == 1
+            assert trials.total == 16.0
+            expected = np.zeros(4).nbytes + np.ones((2, 8)).nbytes
+            assert obs.metrics.counter("engine.batch_bytes").value == expected

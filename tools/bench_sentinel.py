@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Benchmark-history regression sentinel.
+
+Usage::
+
+    python tools/bench_sentinel.py append  [--bench BENCH_runtime.json] \
+        [--history BENCH_history.jsonl]
+    python tools/bench_sentinel.py report  [--bench ...] [--history ...] \
+        [--out trend.md] [--min-samples N]
+    python tools/bench_sentinel.py check   [--bench ...] [--history ...] \
+        [--min-samples N] [--inject-slowdown FRAC] [--expect-regression]
+
+``append`` folds the current ``BENCH_runtime.json`` snapshot into the
+append-only ``BENCH_history.jsonl`` (keyed by git rev, timestamp, and env
+fingerprint). ``report`` writes/prints a markdown trend report comparing
+the snapshot against its robust per-bench baseline (median of recent
+matching runs, MAD-scaled threshold). ``check`` is the CI gate: exit 1 on
+any significant regression, 0 otherwise. ``--inject-slowdown 0.3``
+multiplies every current wall time by 1.3 (and divides rates) before
+checking -- the sentinel's self-test: paired with ``--expect-regression``
+the exit code inverts, so CI proves the gate actually fires.
+
+Baselines only use history rows whose env fingerprint matches the current
+environment, so a CI runner upgrade starts a fresh baseline instead of
+flagging phantom regressions.
+
+Needs ``src`` on ``PYTHONPATH`` (or the package installed); the script
+adds the repository's ``src`` directory itself when run from a checkout.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_REPO_SRC = _REPO_ROOT / "src"
+if _REPO_SRC.is_dir() and str(_REPO_SRC) not in sys.path:
+    sys.path.insert(0, str(_REPO_SRC))
+
+from repro.obs.history import (  # noqa: E402
+    RATE_KEYS,
+    append_history,
+    detect_regressions,
+    fingerprint_hash,
+    history_entry,
+    read_history,
+    trend_report,
+    validate_history_entry,
+)
+
+
+def _load_bench(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"unreadable bench snapshot {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _inject_slowdown(rows, fraction: float):
+    """Scale every row as if the tree got ``fraction`` slower (self-test)."""
+    scaled = []
+    for row in rows:
+        row = dict(row)
+        if isinstance(row.get("wall_s"), (int, float)):
+            row["wall_s"] = row["wall_s"] * (1.0 + fraction)
+        for key in RATE_KEYS:
+            if isinstance(row.get(key), (int, float)):
+                row[key] = row[key] / (1.0 + fraction)
+        scaled.append(row)
+    return scaled
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "command", choices=("append", "report", "check"),
+        help="append snapshot to history / write trend report / CI gate",
+    )
+    parser.add_argument(
+        "--bench", type=Path, default=_REPO_ROOT / "BENCH_runtime.json",
+        help="current benchmark snapshot (default: repo BENCH_runtime.json)",
+    )
+    parser.add_argument(
+        "--history", type=Path, default=_REPO_ROOT / "BENCH_history.jsonl",
+        help="append-only history file (default: repo BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--out", type=Path,
+        help="report: also write the markdown trend report here",
+    )
+    parser.add_argument(
+        "--min-samples", type=int, default=3,
+        help="history samples a bench needs before it can gate (default 3; "
+        "CI self-tests use 1 so a just-appended run is its own baseline)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=20,
+        help="recent history samples per baseline (default 20)",
+    )
+    parser.add_argument(
+        "--mad-factor", type=float, default=4.0,
+        help="MAD multiples a value may drift before flagging (default 4)",
+    )
+    parser.add_argument(
+        "--min-rel", type=float, default=0.15,
+        help="relative-change floor of the threshold (default 0.15, i.e. "
+        "never flag a <15%% change even on a zero-MAD baseline)",
+    )
+    parser.add_argument(
+        "--inject-slowdown", type=float, metavar="FRAC",
+        help="check: scale current walls by (1+FRAC) first (self-test)",
+    )
+    parser.add_argument(
+        "--expect-regression", action="store_true",
+        help="check: invert the exit code -- fail unless a regression is "
+        "detected (proves the gate fires)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = _load_bench(args.bench)
+    if args.command == "append":
+        entry = history_entry(payload)
+        problems = validate_history_entry(entry)
+        if problems:
+            for problem in problems:
+                print(f"history entry invalid: {problem}", file=sys.stderr)
+            return 2
+        append_history(args.history, entry)
+        print(
+            f"appended {len(entry['benches'])} bench rows "
+            f"(rev {str(entry['git_rev'])[:12]}, "
+            f"fingerprint {entry['fingerprint']}) to {args.history}"
+        )
+        return 0
+
+    entries = read_history(args.history)
+    stale = [
+        f"entry {index}: {problem}"
+        for index, entry in enumerate(entries)
+        for problem in validate_history_entry(entry)
+    ]
+    if stale:
+        for problem in stale:
+            print(f"history problem: {problem}", file=sys.stderr)
+        return 2
+    rows = payload.get("benches") or []
+    if args.command == "check" and args.inject_slowdown:
+        rows = _inject_slowdown(rows, args.inject_slowdown)
+    env = payload.get("env")
+    fingerprint = fingerprint_hash(env) if env else None
+    findings = detect_regressions(
+        rows,
+        entries,
+        fingerprint=fingerprint,
+        window=args.window,
+        min_samples=args.min_samples,
+        mad_factor=args.mad_factor,
+        min_rel=args.min_rel,
+    )
+    report = trend_report(rows, findings)
+    if args.out:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(report)
+        print(f"trend report written to {args.out}")
+    if args.command == "report":
+        print(report)
+        return 0
+
+    regressions = [f for f in findings if f.status == "regression"]
+    for finding in regressions:
+        baseline = finding.baseline
+        print(
+            f"REGRESSION {finding.bench} {finding.metric}: "
+            f"{finding.current:.4g} vs baseline median "
+            f"{baseline.median:.4g} over {baseline.samples} run(s) "
+            f"(ratio {finding.ratio:.2f})",
+            file=sys.stderr,
+        )
+    if args.expect_regression:
+        if regressions:
+            print(
+                f"self-test OK: {len(regressions)} injected regression(s) "
+                "detected"
+            )
+            return 0
+        print(
+            "self-test FAILED: injected slowdown was not detected",
+            file=sys.stderr,
+        )
+        return 1
+    if regressions:
+        print(
+            f"{len(regressions)} benchmark regression(s) found",
+            file=sys.stderr,
+        )
+        return 1
+    checked = [f for f in findings if f.status != "no-baseline"]
+    print(
+        f"benchmarks OK: {len(checked)} bench metrics within threshold "
+        f"({len(findings) - len(checked)} without baselines yet)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""Validate every observability artifact schema in one pass.
+
+Usage::
+
+    python tools/check_obs_schema.py [--trace TRACE.jsonl]
+        [--metrics METRICS.json] [--manifest MANIFEST.json]
+        [--history BENCH_history.jsonl] [--collapsed STACKS.collapsed]
+
+The successor of ``check_trace_schema.py`` (which remains as a thin
+positional-argument wrapper): traces, metrics, manifests, the benchmark
+history JSONL, and collapsed-stack exports are all versioned schemas, and
+CI runs this against freshly written artifacts so drift fails the build
+instead of surfacing downstream.
+
+Versioning: each schema carries its own ``*_SCHEMA_VERSION`` constant
+(``repro.obs.trace.TRACE_SCHEMA_VERSION``,
+``repro.obs.manifest.MANIFEST_SCHEMA_VERSION``,
+``repro.obs.history.HISTORY_SCHEMA_VERSION``).  The bump path is: additive
+fields keep the version; renamed/removed fields or changed semantics bump
+it, the validator here learns both forms, and writers emit only the
+current one.
+
+Exits non-zero if any requested artifact has problems, printing each.
+Needs ``src`` on ``PYTHONPATH`` (or the package installed); the script
+adds the repository's ``src`` directory itself when run from a checkout.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+_REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+if _REPO_SRC.is_dir() and str(_REPO_SRC) not in sys.path:
+    sys.path.insert(0, str(_REPO_SRC))
+
+from repro.obs import read_manifest, validate_manifest  # noqa: E402
+from repro.obs.history import (  # noqa: E402
+    read_history,
+    validate_history_entry,
+)
+from repro.obs.trace import validate_span_dict  # noqa: E402
+
+_COLLAPSED_LINE = re.compile(r"^\S.* (\d+)$")
+
+
+def check_trace(path: Path) -> List[str]:
+    """Problems found in a JSONL trace file.
+
+    Unresolved parent ids are reported: a trace truncated by the span
+    retention cap can legitimately contain them (children record before
+    their dropped parents), but a *complete* CI artifact should not --
+    the analyzer tolerates orphans, the validator flags them.
+    """
+    problems: List[str] = []
+    span_ids = set()
+    parent_refs = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append(f"line {lineno}: not JSON ({exc})")
+                continue
+            for problem in validate_span_dict(payload):
+                problems.append(f"line {lineno}: {problem}")
+            if isinstance(payload.get("span_id"), int):
+                if payload["span_id"] in span_ids:
+                    problems.append(
+                        f"line {lineno}: duplicate span_id {payload['span_id']}"
+                    )
+                span_ids.add(payload["span_id"])
+            if payload.get("parent_id") is not None:
+                parent_refs.append((lineno, payload["parent_id"]))
+    if not span_ids:
+        problems.append("trace contains no spans")
+    for lineno, parent in parent_refs:
+        if parent not in span_ids:
+            problems.append(
+                f"line {lineno}: parent_id {parent} not present in trace"
+            )
+    return problems
+
+
+def check_metrics(path: Path) -> List[str]:
+    """Problems found in a metrics JSON file."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable metrics file: {exc}"]
+    problems: List[str] = []
+    for section in ("counters", "gauges", "histograms"):
+        if section not in payload or not isinstance(payload[section], dict):
+            problems.append(f"metrics missing {section!r} object")
+    for name, data in (payload.get("histograms") or {}).items():
+        edges = data.get("edges") or []
+        counts = data.get("counts") or []
+        if len(counts) != len(edges) + 1:
+            problems.append(
+                f"histogram {name!r}: {len(edges)} edges need "
+                f"{len(edges) + 1} buckets, got {len(counts)}"
+            )
+        if sum(counts) != data.get("count"):
+            problems.append(
+                f"histogram {name!r}: bucket counts sum to {sum(counts)} "
+                f"but count is {data.get('count')}"
+            )
+    return problems
+
+
+def check_history(path: Path) -> List[str]:
+    """Problems found in a benchmark-history JSONL file."""
+    try:
+        entries = read_history(path)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable history file: {exc}"]
+    if not entries:
+        return ["history contains no entries"]
+    problems: List[str] = []
+    for index, entry in enumerate(entries):
+        for problem in validate_history_entry(entry):
+            problems.append(f"entry {index}: {problem}")
+    return problems
+
+
+def check_collapsed(path: Path) -> List[str]:
+    """Problems found in a collapsed-stack export.
+
+    The format speedscope/flamegraph.pl ingest: every line is
+    ``frame[;frame...] <positive integer>``.
+    """
+    problems: List[str] = []
+    lines = 0
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                lines += 1
+                match = _COLLAPSED_LINE.match(line)
+                if not match:
+                    problems.append(
+                        f"line {lineno}: not 'stack count' format: {line!r}"
+                    )
+                elif int(match.group(1)) < 1:
+                    problems.append(f"line {lineno}: non-positive count")
+    except OSError as exc:
+        return [f"unreadable collapsed file: {exc}"]
+    if not lines:
+        problems.append("collapsed export contains no stacks")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", type=Path, help="span trace JSONL file")
+    parser.add_argument("--metrics", type=Path, help="metrics JSON file")
+    parser.add_argument("--manifest", type=Path, help="run manifest JSON file")
+    parser.add_argument(
+        "--history", type=Path, help="benchmark history JSONL file"
+    )
+    parser.add_argument(
+        "--collapsed", type=Path, help="collapsed-stack export file"
+    )
+    args = parser.parse_args(argv)
+    if not any(
+        (args.trace, args.metrics, args.manifest, args.history, args.collapsed)
+    ):
+        parser.error(
+            "nothing to check: pass --trace/--metrics/--manifest/"
+            "--history/--collapsed"
+        )
+
+    failures = 0
+    for label, problems in (
+        ("trace", check_trace(args.trace) if args.trace else []),
+        ("metrics", check_metrics(args.metrics) if args.metrics else []),
+        (
+            "manifest",
+            validate_manifest(read_manifest(args.manifest))
+            if args.manifest
+            else [],
+        ),
+        ("history", check_history(args.history) if args.history else []),
+        (
+            "collapsed",
+            check_collapsed(args.collapsed) if args.collapsed else [],
+        ),
+    ):
+        for problem in problems:
+            print(f"{label}: {problem}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{failures} schema problem(s) found", file=sys.stderr)
+        return 1
+    print("observability artifacts OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

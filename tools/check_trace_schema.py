@@ -1,95 +1,22 @@
 #!/usr/bin/env python
-"""Sanity-check observability artifacts written by the experiments CLI.
+"""Back-compat wrapper around ``check_obs_schema.py``.
 
 Usage::
 
     python tools/check_trace_schema.py TRACE.jsonl \
         [--metrics METRICS.json] [--manifest MANIFEST.json]
 
-Validates that every JSONL line is a well-formed span (required keys,
-positive ids, non-negative durations, parent ids that resolve within the
-trace), that the optional metrics file carries the registry schema, and
-that the optional manifest passes ``repro.obs.validate_manifest``. Exits
-non-zero on the first category of failure, printing each problem -- CI
-runs this against the traced fast experiment so schema drift fails the
-build instead of surfacing downstream.
-
-Needs ``src`` on ``PYTHONPATH`` (or the package installed); the script
-adds the repository's ``src`` directory itself when run from a checkout.
+The validation logic moved to :mod:`check_obs_schema`, which also covers
+the benchmark-history JSONL and collapsed-stack exports; this wrapper
+keeps the original positional-trace interface for existing scripts and CI
+configurations.  Prefer calling ``check_obs_schema.py`` directly.
 """
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
-_REPO_SRC = Path(__file__).resolve().parent.parent / "src"
-if _REPO_SRC.is_dir() and str(_REPO_SRC) not in sys.path:
-    sys.path.insert(0, str(_REPO_SRC))
-
-from repro.obs import read_manifest, validate_manifest  # noqa: E402
-from repro.obs.trace import validate_span_dict  # noqa: E402
-
-
-def check_trace(path: Path) -> list:
-    """Problems found in a JSONL trace file."""
-    problems = []
-    span_ids = set()
-    parent_refs = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as exc:
-                problems.append(f"line {lineno}: not JSON ({exc})")
-                continue
-            for problem in validate_span_dict(payload):
-                problems.append(f"line {lineno}: {problem}")
-            if isinstance(payload.get("span_id"), int):
-                if payload["span_id"] in span_ids:
-                    problems.append(
-                        f"line {lineno}: duplicate span_id {payload['span_id']}"
-                    )
-                span_ids.add(payload["span_id"])
-            if payload.get("parent_id") is not None:
-                parent_refs.append((lineno, payload["parent_id"]))
-    if not span_ids:
-        problems.append("trace contains no spans")
-    for lineno, parent in parent_refs:
-        if parent not in span_ids:
-            problems.append(
-                f"line {lineno}: parent_id {parent} not present in trace"
-            )
-    return problems
-
-
-def check_metrics(path: Path) -> list:
-    """Problems found in a metrics JSON file."""
-    try:
-        payload = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        return [f"unreadable metrics file: {exc}"]
-    problems = []
-    for section in ("counters", "gauges", "histograms"):
-        if section not in payload or not isinstance(payload[section], dict):
-            problems.append(f"metrics missing {section!r} object")
-    for name, data in (payload.get("histograms") or {}).items():
-        edges = data.get("edges") or []
-        counts = data.get("counts") or []
-        if len(counts) != len(edges) + 1:
-            problems.append(
-                f"histogram {name!r}: {len(edges)} edges need "
-                f"{len(edges) + 1} buckets, got {len(counts)}"
-            )
-        if sum(counts) != data.get("count"):
-            problems.append(
-                f"histogram {name!r}: bucket counts sum to {sum(counts)} "
-                f"but count is {data.get('count')}"
-            )
-    return problems
+from check_obs_schema import main as _obs_main
 
 
 def main(argv=None) -> int:
@@ -98,26 +25,12 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics", type=Path, help="metrics JSON file")
     parser.add_argument("--manifest", type=Path, help="run manifest JSON file")
     args = parser.parse_args(argv)
-
-    failures = 0
-    for label, problems in (
-        ("trace", check_trace(args.trace)),
-        ("metrics", check_metrics(args.metrics) if args.metrics else []),
-        (
-            "manifest",
-            validate_manifest(read_manifest(args.manifest))
-            if args.manifest
-            else [],
-        ),
-    ):
-        for problem in problems:
-            print(f"{label}: {problem}", file=sys.stderr)
-            failures += 1
-    if failures:
-        print(f"{failures} schema problem(s) found", file=sys.stderr)
-        return 1
-    print("observability artifacts OK")
-    return 0
+    forwarded = ["--trace", str(args.trace)]
+    if args.metrics:
+        forwarded += ["--metrics", str(args.metrics)]
+    if args.manifest:
+        forwarded += ["--manifest", str(args.manifest)]
+    return _obs_main(forwarded)
 
 
 if __name__ == "__main__":
