@@ -64,6 +64,13 @@ def _kernel_samples() -> int:
     return int(sum(metrics.counter(name).value for name in _KERNEL_COUNTERS))
 
 
+def _serve_plans() -> int:
+    """Total plans the serving layer has answered."""
+    from repro.obs.context import current_obs
+
+    return int(current_obs().metrics.counter("serve.plans").value)
+
+
 def _adaptive_counters() -> tuple:
     """(trials run, trials saved) by the streaming adaptive allocator."""
     from repro.obs.context import current_obs
@@ -75,7 +82,7 @@ def _adaptive_counters() -> tuple:
     )
 
 
-def run_once(benchmark, fn):
+def run_once(benchmark, fn, row_extra=None):
     """Execute ``fn`` exactly once under the benchmark timer.
 
     The experiments are monte-carlo sweeps, not microbenchmarks; one round
@@ -85,10 +92,15 @@ def run_once(benchmark, fn):
     Counters a bench never touches are omitted from its row entirely --
     a row without ``engine_trials`` means "not a trial workload", which
     reads differently from a measured zero throughput.
+
+    ``row_extra`` (a dict, or a zero-argument callable returning one,
+    evaluated after the run) merges extra fields into the recorded row --
+    how ``bench_serve`` attaches latency quantiles and batch occupancy.
     """
     trials_before = _engine_trials()
     candidates_before = _search_candidates()
     kernel_before = _kernel_samples()
+    serve_before = _serve_plans()
     adaptive_before = _adaptive_counters()
     start = time.perf_counter()
     result = benchmark.pedantic(fn, iterations=1, rounds=1)
@@ -111,6 +123,7 @@ def run_once(benchmark, fn):
             "kernel_samples_per_s",
             _kernel_samples() - kernel_before,
         ),
+        ("serve_plans", "plans_per_s", _serve_plans() - serve_before),
     )
     for count_key, rate_key, delta in deltas:
         if not delta:
@@ -123,6 +136,8 @@ def run_once(benchmark, fn):
     if adaptive_run or adaptive_saved:
         row["adaptive_trials_run"] = adaptive_run
         row["adaptive_trials_saved"] = adaptive_saved
+    if row_extra is not None:
+        row.update(row_extra() if callable(row_extra) else row_extra)
     _RUNTIME_ROWS.append(row)
     return result
 

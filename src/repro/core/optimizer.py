@@ -42,7 +42,7 @@ import math
 import time
 from dataclasses import dataclass
 from functools import partial
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -87,6 +87,144 @@ Measured on the stacked spectra this module builds: per-row IFFT cost is
 flat up to roughly this working set and degrades well before the runtime
 engine's 8M-element streaming cap, so the search uses a tighter chunk.
 """
+
+
+@dataclass(frozen=True)
+class StackedScoreSpec:
+    """One stacked scoring call, reduced to scatter-ready arrays.
+
+    The picklable currency of the batched scoring kernel: everything
+    :meth:`FrequencyOptimizer._stacked_values` needs to score its candidate
+    rows, with the shift/re-centring and precision decisions already baked
+    in.  Because each row's inverse FFT is independent of whatever rows it
+    is stacked with (the row-stability the batched/sequential equivalence
+    tests pin down), specs from *different* optimizers -- even different
+    searches serving different requests -- can be co-stacked into one IFFT
+    by :func:`evaluate_stacked_specs` and still score bit-identically to
+    evaluating each spec alone.
+
+    Attributes:
+        scatter: (C, N) int64 bin indices per candidate row, already
+            re-centred (mod ``grid_size``) when the coarse shift applies.
+        phasors: (D, N) complex phase factors shared by every candidate
+            (``complex64`` on the single-precision coarse path).
+        grid_size: IFFT length; specs only co-stack with equal grids.
+        kind: ``"peak"`` or ``"conduction"`` reduction.
+        cutoff: Conduction threshold on the evaluated scale (already
+            divided by ``grid_size`` on the unscaled coarse path).
+        single: Single-precision ranking-only path (skips the
+            ``* grid_size`` rescale, uses the complex64 IFFT).
+    """
+
+    scatter: np.ndarray
+    phasors: np.ndarray
+    grid_size: int
+    kind: str
+    cutoff: float
+    single: bool
+
+    @property
+    def n_candidates(self) -> int:
+        return int(self.scatter.shape[0])
+
+    @property
+    def n_draws(self) -> int:
+        return int(self.phasors.shape[0])
+
+
+def _reduce_stacked_magnitude(
+    spec: StackedScoreSpec, magnitude: np.ndarray
+) -> float:
+    """One candidate's objective from its (draws, grid) envelope block."""
+    if spec.kind == "peak":
+        return float(np.mean(np.max(magnitude, axis=1)))
+    above = np.count_nonzero(magnitude > spec.cutoff)
+    return float(above / (spec.n_draws * spec.grid_size))
+
+
+def evaluate_stacked_specs(
+    specs: Sequence[StackedScoreSpec],
+) -> List[np.ndarray]:
+    """Score many specs, co-stacking compatible ones into shared IFFTs.
+
+    Specs are grouped by ``(grid_size, single)``; within a group the
+    candidate rows of *all* specs are flattened into one worklist and
+    chunked by the same :data:`FFT_ROW_CHUNK_ELEMENTS` row budget the
+    in-optimizer kernel uses, so one inverse FFT can span candidates from
+    several requests.  Per-candidate reductions keep every value
+    bit-identical to evaluating its spec alone -- the determinism contract
+    the serve batcher relies on.
+
+    Returns:
+        One ``(C_i,)`` float array per input spec, in input order.
+    """
+    results: List[Optional[np.ndarray]] = [None] * len(specs)
+    groups: Dict[Tuple[int, bool], List[int]] = {}
+    for index, spec in enumerate(specs):
+        if spec.kind not in ("peak", "conduction"):
+            raise ValueError(f"unknown spec kind {spec.kind!r}")
+        groups.setdefault((spec.grid_size, spec.single), []).append(index)
+    for (grid_size, single), indices in groups.items():
+        for position, values in zip(
+            indices,
+            _evaluate_spec_group([specs[i] for i in indices], grid_size, single),
+        ):
+            results[position] = values
+    return results  # type: ignore[return-value]
+
+
+def _evaluate_spec_group(
+    group: Sequence[StackedScoreSpec], grid_size: int, single: bool
+) -> List[np.ndarray]:
+    """Score one compatible group of specs through chunked shared IFFTs."""
+    dtype = np.complex64 if single else complex
+    values = [np.empty(spec.n_candidates) for spec in group]
+    row_budget = max(1, FFT_ROW_CHUNK_ELEMENTS // grid_size)
+    pending: List[Tuple[int, int]] = []  # (spec position, candidate index)
+    pending_rows = 0
+
+    def flush() -> None:
+        nonlocal pending, pending_rows
+        if not pending:
+            return
+        spectrum = np.zeros((pending_rows, grid_size), dtype=dtype)
+        offset = 0
+        for position, candidate in pending:
+            spec = group[position]
+            draws = spec.n_draws
+            spectrum[offset : offset + draws, spec.scatter[candidate]] = (
+                spec.phasors
+            )
+            offset += draws
+        if single:
+            signal = _coarse_ifft(spectrum, axis=1)
+        else:
+            signal = np.fft.ifft(spectrum, axis=1) * grid_size
+        magnitude = np.abs(signal)
+        offset = 0
+        for position, candidate in pending:
+            spec = group[position]
+            draws = spec.n_draws
+            values[position][candidate] = _reduce_stacked_magnitude(
+                spec, magnitude[offset : offset + draws]
+            )
+            offset += draws
+        pending = []
+        pending_rows = 0
+
+    for position, spec in enumerate(group):
+        draws = spec.n_draws
+        for candidate in range(spec.n_candidates):
+            if pending and pending_rows + draws > row_budget:
+                flush()
+            pending.append((position, candidate))
+            pending_rows += draws
+    flush()
+    return values
+
+
+BatchScorer = Callable[[StackedScoreSpec], np.ndarray]
+"""Signature of a :attr:`FrequencyOptimizer.batch_scorer` hook."""
 
 
 @dataclass(frozen=True)
@@ -373,6 +511,12 @@ class FrequencyOptimizer:
         self._phasors_single = self._phasors.astype(np.complex64)
         self.n_evaluations = 0
         self._coarse_grid_size = self._pick_coarse_grid()
+        #: Optional hook receiving every stacked scoring call as a
+        #: :class:`StackedScoreSpec`. The serve batcher installs one so
+        #: concurrent searches rendezvous their scoring rounds into shared
+        #: IFFTs; ``None`` evaluates in-process. Either way the values are
+        #: bit-identical (see :func:`evaluate_stacked_specs`).
+        self.batch_scorer: Optional[BatchScorer] = None
 
     @property
     def n_draws(self) -> int:
@@ -576,6 +720,43 @@ class FrequencyOptimizer:
 
     # -- batched scoring kernel -------------------------------------------------
 
+    def _score_spec(
+        self,
+        candidates: np.ndarray,
+        grid_size: int,
+        shift: bool,
+        kind: str,
+        threshold: float,
+    ) -> StackedScoreSpec:
+        """Reduce one scoring call to a :class:`StackedScoreSpec`.
+
+        With ``shift``, each candidate's bins are re-centred around zero
+        first (the envelope modulus is invariant under the shift), which is
+        what lets the coarse grid stay small; the coarse stage also runs in
+        single precision and leaves the IFFT's 1/M normalization in place
+        (its values only rank candidates against each other -- selections
+        are always re-ranked by float64 fine scores on the true scale),
+        which roughly halves the memory traffic of the hottest loop. The
+        ranking-only path skips the ``* grid_size`` rescale (a full-size
+        complex multiply); the conduction threshold is divided down instead
+        so the comparison is unchanged.
+        """
+        rows = np.asarray(candidates, dtype=np.int64)
+        single = shift and _HAVE_SINGLE_PRECISION_FFT
+        if shift:
+            centers = (rows.min(axis=1) + rows.max(axis=1)) // 2
+            scatter = (rows - centers[:, None]) % grid_size
+        else:
+            scatter = rows
+        return StackedScoreSpec(
+            scatter=scatter,
+            phasors=self._phasors_single if single else self._phasors,
+            grid_size=int(grid_size),
+            kind=kind,
+            cutoff=threshold / grid_size if single else threshold,
+            single=single,
+        )
+
     def _stacked_values(
         self,
         candidates: np.ndarray,
@@ -588,54 +769,15 @@ class FrequencyOptimizer:
 
         Builds the stacked ``(rows * n_draws, grid_size)`` sparse spectrum
         in chunks bounded by :data:`FFT_ROW_CHUNK_ELEMENTS`, runs one
-        inverse FFT per chunk, and reduces per candidate. With ``shift``,
-        each candidate's bins are re-centred around zero first (the
-        envelope modulus is invariant under the shift), which is what lets
-        the coarse grid stay small; the coarse stage also runs in single
-        precision and leaves the IFFT's 1/M normalization in place (its
-        values only rank candidates against each other -- selections are
-        always re-ranked by float64 fine scores on the true scale), which
-        roughly halves the memory traffic of the hottest loop.
+        inverse FFT per chunk, and reduces per candidate (see
+        :func:`evaluate_stacked_specs`, which also lets an installed
+        :attr:`batch_scorer` co-stack this call with concurrent searches
+        without changing any bits).
         """
-        rows = np.asarray(candidates, dtype=np.int64)
-        count = rows.shape[0]
-        draws = self._phasors.shape[0]
-        single = shift and _HAVE_SINGLE_PRECISION_FFT
-        if shift:
-            centers = (rows.min(axis=1) + rows.max(axis=1)) // 2
-            scatter = (rows - centers[:, None]) % grid_size
-        else:
-            scatter = rows
-        dtype = np.complex64 if single else complex
-        phasors = self._phasors_single if single else self._phasors
-        # The ranking-only single-precision path skips the `* grid_size`
-        # rescale (a full-size complex multiply); the conduction threshold
-        # is divided down instead so the comparison is unchanged.
-        cutoff = threshold / grid_size if single else threshold
-        per_chunk = max(1, FFT_ROW_CHUNK_ELEMENTS // (grid_size * draws))
-        values = np.empty(count)
-        for start in range(0, count, per_chunk):
-            block = scatter[start : start + per_chunk]
-            block_count = block.shape[0]
-            spectrum = np.zeros((block_count, draws, grid_size), dtype=dtype)
-            for index in range(block_count):
-                spectrum[index][:, block[index]] = phasors
-            stacked = spectrum.reshape(block_count * draws, grid_size)
-            if single:
-                signal = _coarse_ifft(stacked, axis=1)
-            else:
-                signal = np.fft.ifft(stacked, axis=1) * grid_size
-            magnitude = np.abs(signal)
-            if kind == "peak":
-                peaks = np.max(magnitude, axis=1).reshape(block_count, draws)
-                values[start : start + block_count] = np.mean(peaks, axis=1)
-            else:
-                above = np.count_nonzero(magnitude > cutoff, axis=1)
-                totals = above.reshape(block_count, draws).sum(axis=1)
-                values[start : start + block_count] = totals / (
-                    draws * grid_size
-                )
-        return values
+        spec = self._score_spec(candidates, grid_size, shift, kind, threshold)
+        if self.batch_scorer is not None:
+            return np.asarray(self.batch_scorer(spec), dtype=float)
+        return evaluate_stacked_specs([spec])[0]
 
     def _score_matrix(
         self,

@@ -184,10 +184,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["list", "all", "obs-report"],
+        choices=sorted(EXPERIMENTS) + ["list", "all", "obs-report", "serve"],
         help="which experiment to run ('list' to enumerate, 'all' for every "
         "one, 'obs-report' to summarize previously written trace/metrics "
-        "files)",
+        "files, 'serve' to run the long-lived planning server)",
     )
     parser.add_argument(
         "--fast",
@@ -295,6 +295,53 @@ def _build_parser() -> argparse.ArgumentParser:
         help="enable pool profiling hooks (dispatch latency, queue wait, "
         "chunk skew, serialization overhead); adds measurable overhead, "
         "so it is opt-in",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve: bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="serve: bind port (default 8787; 0 picks an ephemeral port, "
+        "announced on the SERVE_READY stdout line)",
+    )
+    parser.add_argument(
+        "--flush-ms",
+        type=float,
+        default=10.0,
+        metavar="MS",
+        help="serve: micro-batch flush window in milliseconds (default 10)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        metavar="N",
+        help="serve: flush a batch as soon as N requests are pending "
+        "(default 32)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        help="serve: persistent SQLite plan store (the durable cache tier); "
+        "omitted = memory-only caching",
+    )
+    parser.add_argument(
+        "--store-max-entries",
+        type=int,
+        metavar="N",
+        help="serve: LRU cap on the persistent plan store (default "
+        "unbounded)",
+    )
+    parser.add_argument(
+        "--mem-entries",
+        type=int,
+        metavar="N",
+        help="serve: LRU cap on the in-memory plan-cache tier (default "
+        "unbounded)",
     )
     parser.add_argument(
         "--trace-in",
@@ -459,6 +506,43 @@ def _obs_report(args) -> int:
     return 0
 
 
+def _serve(args, parser) -> int:
+    """Run the planning server until POST /shutdown (or Ctrl-C)."""
+    import asyncio
+
+    from repro.obs import obs_context
+    from repro.serve import ServeConfig
+    from repro.serve.server import run_server
+
+    if args.flush_ms < 0:
+        parser.error("--flush-ms must be >= 0")
+    if args.max_batch < 1:
+        parser.error("--max-batch must be >= 1")
+    config = ServeConfig(
+        workers=args.workers,
+        flush_window_s=args.flush_ms / 1e3,
+        max_batch=args.max_batch,
+        store_path=args.store,
+        store_max_entries=args.store_max_entries,
+        mem_entries=args.mem_entries,
+        cache_enabled=not args.no_plan_cache,
+    )
+    with obs_context(profile=args.profile) as obs:
+        try:
+            asyncio.run(run_server(config, host=args.host, port=args.port))
+        except KeyboardInterrupt:
+            pass
+        if args.trace_out:
+            obs.tracer.write_jsonl(args.trace_out)
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(
+                    obs.metrics.to_dict(), handle, indent=2, sort_keys=True
+                )
+                handle.write("\n")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -469,6 +553,10 @@ def main(argv=None) -> int:
         return 0
     if args.experiment == "obs-report":
         return _obs_report(args)
+    if args.experiment == "serve":
+        if args.workers < 1:
+            parser.error("--workers must be >= 1")
+        return _serve(args, parser)
 
     if args.workers < 1:
         parser.error("--workers must be >= 1")

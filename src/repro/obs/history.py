@@ -51,6 +51,7 @@ RATE_KEYS = (
     "trials_per_s",
     "search_candidates_per_s",
     "kernel_samples_per_s",
+    "plans_per_s",
 )
 """Per-row throughput metrics the sentinel checks lower-is-worse."""
 

@@ -18,10 +18,12 @@ silently ignored.
 """
 
 import json
+import threading
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 TRACE_SCHEMA_VERSION = 1
 """Bumped when the per-line span schema changes incompatibly."""
@@ -90,6 +92,13 @@ class Span:
 class Tracer:
     """Records a tree of :class:`Span` objects for one run scope.
 
+    Thread- and task-safe: span ids and the recorded list are guarded by a
+    lock, and the open-span stack lives in a ``ContextVar``, so every
+    thread *and* every asyncio task nests its spans under its own open
+    span rather than whatever another lane happens to have open. The serve
+    layer depends on this -- its event loop, batch-executor thread, and
+    search threads all record into one shared tracer.
+
     Attributes:
         max_spans: Retention cap; once reached, further spans are counted
             in :attr:`dropped` instead of stored (None = unbounded).
@@ -102,8 +111,17 @@ class Tracer:
         self.max_spans = max_spans
         self.dropped = 0
         self._spans: List[Span] = []
-        self._stack: List[int] = []
+        self._stack: ContextVar[Tuple[int, ...]] = ContextVar(
+            "repro_trace_stack", default=()
+        )
         self._next_id = 1
+        self._lock = threading.Lock()
+
+    def _allocate_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            return span_id
 
     @contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[Span]:
@@ -114,14 +132,14 @@ class Tracer:
         exception (with an ``"error"`` attribute naming the exception
         type).
         """
+        stack = self._stack.get()
         span = Span(
             name=name,
-            span_id=self._next_id,
-            parent_id=self._stack[-1] if self._stack else None,
+            span_id=self._allocate_id(),
+            parent_id=stack[-1] if stack else None,
             attrs=dict(attrs),
         )
-        self._next_id += 1
-        self._stack.append(span.span_id)
+        token = self._stack.set(stack + (span.span_id,))
         span.start_s = time.perf_counter()
         try:
             yield span
@@ -130,14 +148,18 @@ class Tracer:
             raise
         finally:
             span.end_s = time.perf_counter()
-            self._stack.pop()
+            self._stack.reset(token)
             self._record(span)
 
     def _record(self, span: Span) -> None:
-        if self.max_spans is not None and len(self._spans) >= self.max_spans:
-            self.dropped += 1
-            return
-        self._spans.append(span)
+        with self._lock:
+            if (
+                self.max_spans is not None
+                and len(self._spans) >= self.max_spans
+            ):
+                self.dropped += 1
+                return
+            self._spans.append(span)
 
     @property
     def spans(self) -> List[Span]:
@@ -159,11 +181,12 @@ class Tracer:
         trace has no collisions; parent links inside the absorbed set are
         preserved, and absorbed roots stay roots.
         """
-        offset = self._next_id
-        highest = 0
-        for payload in span_dicts:
-            span = Span.from_dict(payload)
-            highest = max(highest, span.span_id)
+        spans = [Span.from_dict(payload) for payload in span_dicts]
+        highest = max((span.span_id for span in spans), default=0)
+        with self._lock:
+            offset = self._next_id
+            self._next_id = offset + highest + 1
+        for span in spans:
             span.span_id += offset
             if span.parent_id is not None:
                 span.parent_id += offset
@@ -171,7 +194,6 @@ class Tracer:
                 for key, value in extra_attrs.items():
                     span.attrs.setdefault(key, value)
             self._record(span)
-        self._next_id = offset + highest + 1
 
     def write_jsonl(self, path) -> None:
         """Write the trace as one JSON span per line."""

@@ -23,8 +23,9 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from repro.constants import CIB_CENTER_FREQUENCY_HZ
 from repro.core.constraints import FlatnessConstraint
@@ -81,7 +82,14 @@ def get_search_defaults() -> Dict[str, object]:
     return dict(_SEARCH_DEFAULTS)
 
 
-def _result_to_json(result: OptimizationResult) -> dict:
+def result_to_json(result: OptimizationResult) -> dict:
+    """JSON-serializable form of an :class:`OptimizationResult`.
+
+    The wire/storage format shared by the disk tier, the SQLite plan store
+    (:mod:`repro.serve.store`), and the serve responses: round-tripping
+    through :func:`result_from_json` reconstructs a bit-identical result
+    (floats survive JSON exactly via ``repr`` round-tripping).
+    """
     plan = result.plan
     return {
         "plan": {
@@ -98,7 +106,12 @@ def _result_to_json(result: OptimizationResult) -> dict:
     }
 
 
-def _result_from_json(payload: dict) -> OptimizationResult:
+def result_from_json(payload: dict) -> OptimizationResult:
+    """Inverse of :func:`result_to_json`.
+
+    Raises ``KeyError`` / ``TypeError`` / ``ValueError`` on malformed
+    payloads -- callers treat those as corrupt-entry misses.
+    """
     plan_data = payload["plan"]
     plan = CarrierPlan(
         center_frequency_hz=float(plan_data["center_frequency_hz"]),
@@ -118,26 +131,122 @@ def _result_from_json(payload: dict) -> OptimizationResult:
     )
 
 
+# Backwards-compatible aliases for the pre-serve private names.
+_result_to_json = result_to_json
+_result_from_json = result_from_json
+
+
 def plan_key(**config) -> str:
     """Deterministic hex key for a search configuration."""
     canonical = json.dumps(config, sort_keys=True, default=repr)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
 
 
+def peak_plan_key(
+    *,
+    n_antennas: int,
+    alpha: float,
+    query_duration_s: float,
+    center_frequency_hz: float = CIB_CENTER_FREQUENCY_HZ,
+    n_draws: int = 48,
+    grid_size: int = DEFAULT_GRID_SIZE,
+    seed: int = 0,
+    n_candidates: int = 120,
+    refine_rounds: int = 2,
+    refine_steps: Tuple[int, ...] = (1, 2, 5, 10, 20),
+    islands: int = 1,
+    fault_token: Optional[str] = None,
+    adaptive_token: str = "none",
+) -> str:
+    """The cache key :func:`optimized_plan` uses for these parameters.
+
+    Key hygiene is deliberate: ``search_rev`` is baked in (so persisted
+    rows from an older search algorithm can never be served as current),
+    ``fault_token`` / ``adaptive_token`` isolate fault-injected and
+    adaptive-allocation plans, and the worker count is **excluded**
+    (results are bit-identical for any fan-out). Exposed publicly so the
+    serve layer can address every cache tier -- memory, legacy disk JSON,
+    and the SQLite store -- by exactly the key the search would compute.
+    """
+    return plan_key(
+        kind="peak",
+        n_antennas=n_antennas,
+        alpha=alpha,
+        query_duration_s=query_duration_s,
+        center_frequency_hz=center_frequency_hz,
+        n_draws=n_draws,
+        grid_size=grid_size,
+        seed=seed,
+        n_candidates=n_candidates,
+        refine_rounds=refine_rounds,
+        refine_steps=tuple(refine_steps),
+        islands=islands,
+        search_rev=SEARCH_REV,
+        fault_token=fault_token or "none",
+        adaptive_token=adaptive_token,
+    )
+
+
+def conduction_plan_key(
+    *,
+    n_antennas: int,
+    threshold: float,
+    alpha: float,
+    query_duration_s: float,
+    center_frequency_hz: float = CIB_CENTER_FREQUENCY_HZ,
+    n_draws: int = 48,
+    grid_size: int = DEFAULT_GRID_SIZE,
+    seed: int = 0,
+    n_candidates: int = 60,
+    refine_rounds: int = 1,
+    refine_steps: Tuple[int, ...] = (1, 2, 5, 10, 20),
+    islands: int = 1,
+    fault_token: Optional[str] = None,
+    adaptive_token: str = "none",
+) -> str:
+    """The cache key :func:`optimized_conduction_plan` uses (see
+    :func:`peak_plan_key` for the hygiene rules)."""
+    return plan_key(
+        kind="conduction",
+        n_antennas=n_antennas,
+        threshold=threshold,
+        alpha=alpha,
+        query_duration_s=query_duration_s,
+        center_frequency_hz=center_frequency_hz,
+        n_draws=n_draws,
+        grid_size=grid_size,
+        seed=seed,
+        n_candidates=n_candidates,
+        refine_rounds=refine_rounds,
+        refine_steps=tuple(refine_steps),
+        islands=islands,
+        search_rev=SEARCH_REV,
+        fault_token=fault_token or "none",
+        adaptive_token=adaptive_token,
+    )
+
+
 class PlanCache:
-    """Two-level (memory + optional disk) cache of optimization results.
+    """Tiered (memory + optional disk/backing-store) cache of results.
 
     Attributes:
-        directory: On-disk location for JSON entries, or None for
-            memory-only operation.
+        directory: On-disk location for legacy JSON entries, or None.
+        backing: Optional durable store (duck-typed ``get(key)`` /
+            ``put(key, result)``, e.g. :class:`repro.serve.store.PlanStore`)
+            consulted between the memory and JSON-file tiers; hits are
+            promoted into memory.
         enabled: When False every lookup misses and nothing is stored.
         max_entries: Cap on the in-memory layer; storing past it evicts
             the least-recently-used entry (None = unbounded). Disk entries
-            are never evicted.
+            are never evicted here (the backing store prunes itself).
         hits / misses / evictions: Lookup/eviction counters, mirrored into
             the current observability context's metrics registry
-            (``plan_cache.hits`` / ``.misses`` / ``.evictions``) so cache
+            (``plan_cache.hits`` / ``.misses`` / ``.evictions``; corrupt
+            disk entries count under ``plan_cache.corrupt``) so cache
             effectiveness shows up in ``--timings`` and ``--metrics-out``.
+
+    Thread safety: the memory tier is guarded by a lock, so a serving
+    process can look up and store plans from concurrent batch threads.
     """
 
     def __init__(
@@ -145,15 +254,19 @@ class PlanCache:
         directory: Optional[os.PathLike] = None,
         enabled: bool = True,
         max_entries: Optional[int] = None,
+        backing: Optional[Any] = None,
     ):
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.directory = None if directory is None else Path(directory)
         self.enabled = bool(enabled)
         self.max_entries = max_entries
+        self.backing = backing
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.corrupt = 0
+        self._lock = threading.Lock()
         self._memory: Dict[str, OptimizationResult] = {}
 
     def _hit(self) -> None:
@@ -171,33 +284,62 @@ class PlanCache:
 
     def lookup(self, key: str) -> Optional[OptimizationResult]:
         """Cached result for ``key``, or None on a miss."""
+        return self.lookup_tiered(key)[0]
+
+    def lookup_tiered(
+        self, key: str
+    ) -> Tuple[Optional[OptimizationResult], str]:
+        """Cached result plus the tier that answered.
+
+        Returns ``(result, tier)`` with tier one of ``"memory"``,
+        ``"store"`` (the backing store), ``"disk"`` (legacy JSON files),
+        or ``"miss"``. The serve layer surfaces the tier as the
+        response's ``source`` field and as ``serve.store_hit`` spans.
+        """
         if not self.enabled:
             self._miss()
-            return None
-        result = self._memory.get(key)
+            return None, "miss"
+        with self._lock:
+            result = self._memory.get(key)
+            if result is not None:
+                # Re-insertion keeps dict order LRU-ish for eviction.
+                self._memory.pop(key)
+                self._memory[key] = result
         if result is not None:
-            # Re-insertion keeps dict order LRU-ish for eviction.
-            self._memory.pop(key)
-            self._memory[key] = result
             self._hit()
-            return result
+            return result, "memory"
+        if self.backing is not None:
+            result = self.backing.get(key)
+            if result is not None:
+                with self._lock:
+                    self._remember(key, result)
+                self._hit()
+                return result, "store"
         path = self._path(key)
         if path is not None and path.is_file():
             try:
                 payload = json.loads(path.read_text())
-                result = _result_from_json(payload)
+                result = result_from_json(payload)
             except (ValueError, KeyError, TypeError):
-                # A corrupt or stale entry is a miss, not an error.
+                # A corrupt or stale entry is a miss, not an error; count
+                # it so garbage rows are visible instead of silent.
                 result = None
+                self.corrupt += 1
+                current_obs().metrics.counter("plan_cache.corrupt").inc()
             if result is not None:
-                self._remember(key, result)
+                with self._lock:
+                    self._remember(key, result)
                 self._hit()
-                return result
+                return result, "disk"
         self._miss()
-        return None
+        return None, "miss"
 
     def _remember(self, key: str, result: OptimizationResult) -> None:
-        """Insert into the memory layer, evicting LRU past ``max_entries``."""
+        """Insert into the memory layer, evicting LRU past ``max_entries``.
+
+        Callers hold ``self._lock``.
+        """
+        self._memory.pop(key, None)
         self._memory[key] = result
         while (
             self.max_entries is not None
@@ -208,10 +350,13 @@ class PlanCache:
             current_obs().metrics.counter("plan_cache.evictions").inc()
 
     def store(self, key: str, result: OptimizationResult) -> None:
-        """Record ``result`` under ``key`` in memory and on disk."""
+        """Record ``result`` under ``key`` in every enabled tier."""
         if not self.enabled:
             return
-        self._remember(key, result)
+        with self._lock:
+            self._remember(key, result)
+        if self.backing is not None:
+            self.backing.put(key, result)
         path = self._path(key)
         if path is None:
             return
@@ -222,7 +367,7 @@ class PlanCache:
         )
         try:
             with handle:
-                json.dump(_result_to_json(result), handle)
+                json.dump(result_to_json(result), handle)
             os.replace(handle.name, path)
         except OSError:
             try:
@@ -231,11 +376,13 @@ class PlanCache:
                 pass
 
     def clear(self) -> None:
-        """Drop the in-memory layer (disk entries are left alone)."""
-        self._memory.clear()
+        """Drop the in-memory layer (durable tiers are left alone)."""
+        with self._lock:
+            self._memory.clear()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.corrupt = 0
 
 
 def _default_cache() -> PlanCache:
@@ -255,11 +402,28 @@ def configure_plan_cache(
     directory: Optional[os.PathLike] = None,
     enabled: bool = True,
     max_entries: Optional[int] = None,
+    store_path: Optional[os.PathLike] = None,
+    store_max_entries: Optional[int] = None,
 ) -> PlanCache:
-    """Replace the global cache (e.g. to enable disk storage or disable)."""
+    """Replace the global cache (e.g. to enable disk storage or disable).
+
+    ``store_path`` attaches a durable SQLite
+    :class:`repro.serve.store.PlanStore` as the backing tier (pruned to
+    ``store_max_entries`` least-recently-used rows when set); the import
+    is lazy so :mod:`repro.runtime` does not depend on :mod:`repro.serve`
+    unless a store is requested.
+    """
     global _GLOBAL
+    backing = None
+    if store_path is not None:
+        from repro.serve.store import PlanStore
+
+        backing = PlanStore(store_path, max_entries=store_max_entries)
     _GLOBAL = PlanCache(
-        directory=directory, enabled=enabled, max_entries=max_entries
+        directory=directory,
+        enabled=enabled,
+        max_entries=max_entries,
+        backing=backing,
     )
     return _GLOBAL
 
@@ -279,6 +443,7 @@ def optimized_plan(
     workers: Optional[int] = None,
     fault_token: Optional[str] = None,
     adaptive_token: Optional[str] = None,
+    batch_scorer: Optional[Callable] = None,
 ) -> OptimizationResult:
     """Cached equivalent of ``FrequencyOptimizer(...).optimize(...)``.
 
@@ -291,6 +456,10 @@ def optimized_plan(
     another; ``None`` and the empty plan share the healthy key.
     ``adaptive_token`` keys the active adaptive-allocation policy the same
     way (defaulting to the :func:`configure_search` process-wide value).
+    ``batch_scorer`` installs a
+    :attr:`~repro.core.optimizer.FrequencyOptimizer.batch_scorer` hook on
+    the fresh optimizer (value-neutral, so it is *not* part of the key);
+    it only applies to in-process searches (``islands == 1``).
     """
     constraint = constraint if constraint is not None else FlatnessConstraint()
     cache = cache if cache is not None else get_plan_cache()
@@ -298,8 +467,7 @@ def optimized_plan(
     workers = _SEARCH_DEFAULTS["workers"] if workers is None else workers
     if adaptive_token is None:
         adaptive_token = str(_SEARCH_DEFAULTS["adaptive_token"])
-    key = plan_key(
-        kind="peak",
+    key = peak_plan_key(
         n_antennas=n_antennas,
         alpha=constraint.alpha,
         query_duration_s=constraint.query_duration_s,
@@ -311,8 +479,7 @@ def optimized_plan(
         refine_rounds=refine_rounds,
         refine_steps=tuple(refine_steps),
         islands=islands,
-        search_rev=SEARCH_REV,
-        fault_token=fault_token or "none",
+        fault_token=fault_token,
         adaptive_token=adaptive_token,
     )
     obs = current_obs()
@@ -330,6 +497,8 @@ def optimized_plan(
             grid_size=grid_size,
             seed=seed,
         )
+        if batch_scorer is not None and islands == 1:
+            optimizer.batch_scorer = batch_scorer
         result = optimizer.optimize(
             n_candidates=n_candidates,
             refine_rounds=refine_rounds,
@@ -357,10 +526,11 @@ def optimized_conduction_plan(
     workers: Optional[int] = None,
     fault_token: Optional[str] = None,
     adaptive_token: Optional[str] = None,
+    batch_scorer: Optional[Callable] = None,
 ) -> OptimizationResult:
     """Cached ``FrequencyOptimizer(...).optimize_conduction(threshold, ...)``.
 
-    ``fault_token`` and ``adaptive_token`` participate in the cache key
+    ``fault_token``, ``adaptive_token``, and ``batch_scorer`` behave
     exactly as in :func:`optimized_plan`.
     """
     constraint = constraint if constraint is not None else FlatnessConstraint()
@@ -369,8 +539,7 @@ def optimized_conduction_plan(
     workers = _SEARCH_DEFAULTS["workers"] if workers is None else workers
     if adaptive_token is None:
         adaptive_token = str(_SEARCH_DEFAULTS["adaptive_token"])
-    key = plan_key(
-        kind="conduction",
+    key = conduction_plan_key(
         n_antennas=n_antennas,
         threshold=threshold,
         alpha=constraint.alpha,
@@ -383,8 +552,7 @@ def optimized_conduction_plan(
         refine_rounds=refine_rounds,
         refine_steps=tuple(refine_steps),
         islands=islands,
-        search_rev=SEARCH_REV,
-        fault_token=fault_token or "none",
+        fault_token=fault_token,
         adaptive_token=adaptive_token,
     )
     obs = current_obs()
@@ -404,6 +572,8 @@ def optimized_conduction_plan(
             grid_size=grid_size,
             seed=seed,
         )
+        if batch_scorer is not None and islands == 1:
+            optimizer.batch_scorer = batch_scorer
         result = optimizer.optimize_conduction(
             threshold,
             n_candidates=n_candidates,

@@ -38,12 +38,13 @@ is gated on one boolean so un-profiled runs pay nothing measurable.
 """
 
 import math
+import multiprocessing
 import os
 import pickle
 import time
 import traceback
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -59,6 +60,28 @@ PROFILE_WAIT_EDGES = (
     1e-5, 1e-4, 1e-3, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
 )
 """Bucket edges (seconds) of the profiling wait/overhead histograms."""
+
+
+def _pool_context():
+    """Start method for persistent pools: ``forkserver`` where available.
+
+    A lazily *forked* worker inherits every file descriptor open in the
+    parent at fork time. In a serving process that includes live client
+    sockets; the parent's later ``close()`` then never delivers EOF (the
+    workers still hold the fd), so clients reading to end-of-stream hang
+    forever. Forkserver workers are forked from a clean helper process
+    instead, so they never capture the server's connection fds -- and a
+    pool restart after a worker death stays safe mid-traffic too.
+    """
+    try:
+        return multiprocessing.get_context("forkserver")
+    except ValueError:  # pragma: no cover - platform without forkserver
+        return None
+
+
+def _warm_noop() -> int:
+    """Pool warm-up task (module-level, hence picklable)."""
+    return os.getpid()
 
 
 def _run_chunk(
@@ -143,15 +166,103 @@ class TrialRunner:
         workers: Number of worker processes; 1 runs everything in-process.
         chunk_size: Trials per chunk. Defaults to ``ceil(n / workers)`` so
             each worker gets one span.
+        persistent: Keep one warm ``ProcessPoolExecutor`` alive across
+            ``map_*`` calls instead of building (and tearing down) a pool
+            per call. The mode a long-lived serving process needs: pool
+            startup is paid once, :meth:`shutdown` is idempotent and
+            leaves the runner reusable (the next map lazily starts a
+            fresh pool), and a broken pool (worker death) is discarded so
+            the following call recovers with new workers. Results are
+            bit-identical either way -- the pool only changes *where*
+            chunks run.
     """
 
-    def __init__(self, workers: int = 1, chunk_size: Optional[int] = None):
+    def __init__(
+        self,
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+        persistent: bool = False,
+    ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.workers = int(workers)
         self.chunk_size = chunk_size
+        self.persistent = bool(persistent)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- pool lifecycle ---------------------------------------------------------
+
+    def _acquire_pool(self, max_workers: int) -> ProcessPoolExecutor:
+        """The pool for one ``map_range`` call.
+
+        Non-persistent runners get a throwaway pool sized to the call;
+        persistent runners lazily start (or reuse) one warm pool sized to
+        ``self.workers`` so later calls with more spans still have every
+        worker available.
+        """
+        if not self.persistent:
+            return ProcessPoolExecutor(max_workers=max_workers)
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=_pool_context()
+            )
+            current_obs().metrics.counter("runner.pool_starts").inc()
+        return self._pool
+
+    def warm_up(self) -> None:
+        """Start every pool worker now instead of at the first ``map_*``.
+
+        A long-lived serving process calls this before accepting traffic
+        so the first batch does not pay worker startup (forkserver
+        workers cold-import the runtime stack on their first task).
+        Submitting one no-op per worker forces the executor to spawn its
+        full complement. No-op for non-persistent or single-worker
+        runners.
+        """
+        if not self.persistent or self.workers == 1:
+            return
+        pool = self._acquire_pool(self.workers)
+        for future in [
+            pool.submit(_warm_noop) for _ in range(self.workers)
+        ]:
+            future.result()
+
+    def _release_pool(self, pool: ProcessPoolExecutor, broken: bool) -> None:
+        """Return a pool after a call: tear down, keep warm, or discard."""
+        if not self.persistent:
+            pool.shutdown()
+            return
+        if broken and pool is self._pool:
+            # A worker died; the executor is permanently broken. Discard
+            # it so the next call starts a healthy replacement pool.
+            self._pool = None
+            pool.shutdown(wait=False, cancel_futures=True)
+            current_obs().metrics.counter("runner.pool_restarts").inc()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release the warm pool (idempotent; safe to call repeatedly).
+
+        The runner stays usable: a later ``map_*`` call lazily starts a
+        fresh pool. Non-persistent runners hold no pool, so this is a
+        no-op for them.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "TrialRunner":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.shutdown(wait=False)
+        except Exception:
+            pass
 
     def spans(self, n_trials: int) -> List[Tuple[int, int]]:
         """Contiguous ``(start, count)`` spans covering ``n_trials``."""
@@ -241,22 +352,32 @@ class TrialRunner:
             ).observe(time.perf_counter() - began)
             obs.metrics.counter("runner.serialized_bytes").inc(len(payload))
         chunk_walls: List[float] = []
-        with obs.tracer.span(
-            "runner.pool", workers=max_workers, chunks=len(spans)
-        ):
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        pool = self._acquire_pool(max_workers)
+        broken = False
+        try:
+            with obs.tracer.span(
+                "runner.pool", workers=max_workers, chunks=len(spans)
+            ):
                 futures = []
                 submit_times = []
                 for start, count in spans:
                     submit_s = time.perf_counter()
-                    futures.append(
-                        pool.submit(
+                    try:
+                        future = pool.submit(
                             wrapped,
                             start,
                             count,
                             submit_s=submit_s if profile else None,
                         )
-                    )
+                    except (BrokenExecutor, RuntimeError) as exc:
+                        # A warm persistent pool can break (or be shut
+                        # down) between calls; surface the failure through
+                        # the normal per-chunk retry path so every span
+                        # still produces its result in-process.
+                        broken = True
+                        future = Future()
+                        future.set_exception(exc)
+                    futures.append(future)
                     submit_times.append(submit_s)
                 results = []
                 # Results are consumed (and telemetry merged) in span
@@ -269,6 +390,8 @@ class TrialRunner:
                     try:
                         result, telemetry = future.result()
                     except Exception as exc:
+                        if isinstance(exc, BrokenExecutor):
+                            broken = True
                         results.append(
                             self._retry_chunk(fn, start, count, obs, label, exc)
                         )
@@ -291,6 +414,8 @@ class TrialRunner:
                             chunk_walls,
                         )
                     results.append(result)
+        finally:
+            self._release_pool(pool, broken)
         if profile and len(chunk_walls) >= 2:
             chunk_walls.sort()
             mid = len(chunk_walls) // 2

@@ -1,0 +1,249 @@
+"""Micro-batching scheduler and the cross-request stacked-scoring barrier.
+
+Two cooperating pieces:
+
+:class:`MicroBatcher` lives on the event loop. Concurrent ``submit`` calls
+within a small time window (or up to a size cap) are coalesced into one
+batch handed to a synchronous executor on a worker thread; each caller
+awaits its own future and receives exactly its item's result (or
+exception), so batching changes *when* work runs, never *what* a request
+gets back.
+
+:class:`StackedScorer` lives below the service's batch executor. Each
+distinct search in a batch runs on its own thread with a
+:attr:`~repro.core.optimizer.FrequencyOptimizer.batch_scorer` hook that
+parks the search's next stacked scoring call at a barrier; a coordinator
+collects every parked :class:`~repro.core.optimizer.StackedScoreSpec` and
+evaluates them in one :func:`~repro.core.optimizer.evaluate_stacked_specs`
+call (one shared IFFT pipeline per compatible group). Because the stacked
+kernel is row-stable, each search still sees bit-identical values to
+scoring alone -- co-batching is purely a throughput optimization.
+"""
+
+import asyncio
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.optimizer import StackedScoreSpec
+
+DEFAULT_FLUSH_WINDOW_S = 0.010
+"""How long the first request in a batch waits for company."""
+
+DEFAULT_MAX_BATCH = 32
+"""Requests per batch before an immediate flush."""
+
+
+class MicroBatcher:
+    """Coalesce concurrent awaitable submissions into executor batches.
+
+    Args:
+        execute: Synchronous callable receiving the batch's items and
+            returning one result per item *in order*; a returned
+            ``Exception`` instance rejects that item's future only.
+            Runs on a worker thread (``asyncio.to_thread``), so it may
+            block.
+        flush_window_s: Time the first pending item waits before the
+            batch is flushed (0 flushes every item immediately).
+        max_batch: Flush as soon as this many items are pending.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[List[Any]], Sequence[Any]],
+        flush_window_s: float = DEFAULT_FLUSH_WINDOW_S,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ):
+        if flush_window_s < 0:
+            raise ValueError(
+                f"flush_window_s must be >= 0, got {flush_window_s}"
+            )
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._execute = execute
+        self.flush_window_s = float(flush_window_s)
+        self.max_batch = int(max_batch)
+        self._pending: List[Tuple[Any, asyncio.Future]] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._running: set = set()
+        self.batches = 0
+        self.items = 0
+        self.max_batch_seen = 0
+
+    async def submit(self, item: Any) -> Any:
+        """Queue ``item`` for the next batch; await its own result."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((item, future))
+        if len(self._pending) >= self.max_batch:
+            self._flush()
+        elif self._timer is None:
+            if self.flush_window_s == 0:
+                # Still defer to the loop so concurrent submits in the
+                # same tick coalesce.
+                self._timer = loop.call_soon(self._flush)
+            else:
+                self._timer = loop.call_later(
+                    self.flush_window_s, self._flush
+                )
+        return await future
+
+    def _flush(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        self.batches += 1
+        self.items += len(batch)
+        self.max_batch_seen = max(self.max_batch_seen, len(batch))
+        task = asyncio.ensure_future(self._run(batch))
+        self._running.add(task)
+        task.add_done_callback(self._running.discard)
+
+    async def _run(self, batch: List[Tuple[Any, asyncio.Future]]) -> None:
+        items = [item for item, _ in batch]
+        try:
+            results = await asyncio.to_thread(self._execute, items)
+        except BaseException as exc:  # noqa: BLE001 - fan the failure out
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        if len(results) != len(batch):
+            exc = RuntimeError(
+                f"batch executor returned {len(results)} results for "
+                f"{len(batch)} items"
+            )
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), result in zip(batch, results):
+            if future.done():
+                continue
+            if isinstance(result, BaseException):
+                future.set_exception(result)
+            else:
+                future.set_result(result)
+
+    async def drain(self) -> None:
+        """Flush pending items and wait for in-flight batches to finish."""
+        self._flush()
+        while self._running:
+            await asyncio.gather(*list(self._running), return_exceptions=True)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "batches": self.batches,
+            "items": self.items,
+            "max_batch_seen": self.max_batch_seen,
+            "pending": len(self._pending),
+            "flush_window_s": self.flush_window_s,
+            "max_batch": self.max_batch,
+        }
+
+
+class StackedScorer:
+    """Rendezvous barrier merging concurrent searches' scoring rounds.
+
+    Usage (all inside one batch execution)::
+
+        scorer = StackedScorer(evaluate)
+        pids = [scorer.register() for _ in searches]   # before any thread
+        # each search thread:  values = scorer.score(pid, spec)  per round
+        #                      scorer.finish(pid)                when done
+        scorer.run()   # coordinator: loops until every participant finished
+
+    ``evaluate`` receives the list of parked specs (one per still-waiting
+    participant) and must return one value array per spec, in order --
+    normally :func:`repro.core.optimizer.evaluate_stacked_specs`, which
+    keeps every participant's values bit-identical to solo scoring.
+
+    Searches make different numbers of scoring calls (candidate scoring,
+    fine rescoring, refinement moves), so the barrier waits only on
+    *unfinished* participants: each round stacks whoever is currently
+    parked, and participants that finish early simply stop arriving.
+    """
+
+    def __init__(
+        self,
+        evaluate: Callable[[List[StackedScoreSpec]], Sequence[Any]],
+    ):
+        self._evaluate = evaluate
+        self._cond = threading.Condition()
+        self._next_pid = 0
+        self._active = 0
+        self._pending: Dict[int, StackedScoreSpec] = {}
+        self._results: Dict[int, Any] = {}
+        self._failure: Optional[BaseException] = None
+        self.rounds = 0
+        self.specs_stacked = 0
+        self.max_stacked = 0
+
+    def register(self) -> int:
+        """Reserve a participant slot; call before its thread starts."""
+        with self._cond:
+            pid = self._next_pid
+            self._next_pid += 1
+            self._active += 1
+            return pid
+
+    def finish(self, pid: int) -> None:
+        """Mark a participant done (always call, even on failure)."""
+        with self._cond:
+            self._active -= 1
+            self._cond.notify_all()
+
+    def score(self, pid: int, spec: StackedScoreSpec) -> Any:
+        """Park ``spec`` at the barrier; block until its values arrive."""
+        with self._cond:
+            self._pending[pid] = spec
+            self._cond.notify_all()
+            while pid not in self._results and self._failure is None:
+                self._cond.wait()
+            if self._failure is not None:
+                raise RuntimeError(
+                    "stacked scoring round failed"
+                ) from self._failure
+            return self._results.pop(pid)
+
+    def run(self) -> None:
+        """Coordinator loop: evaluate rounds until all participants finish.
+
+        Each round waits until every *unfinished* participant has parked a
+        spec, evaluates them in one call (outside the lock), and hands the
+        values back. An ``evaluate`` failure is broadcast to every waiter
+        and re-raised here.
+        """
+        while True:
+            with self._cond:
+                while self._active > 0 and len(self._pending) < self._active:
+                    self._cond.wait()
+                if self._active <= 0 and not self._pending:
+                    return
+                pids = sorted(self._pending)
+                specs = [self._pending.pop(pid) for pid in pids]
+            try:
+                values = list(self._evaluate(specs))
+                if len(values) != len(specs):
+                    raise RuntimeError(
+                        f"stacked evaluate returned {len(values)} arrays "
+                        f"for {len(specs)} specs"
+                    )
+            except BaseException as exc:  # noqa: BLE001 - wake all waiters
+                with self._cond:
+                    self._failure = exc
+                    self._cond.notify_all()
+                raise
+            with self._cond:
+                self.rounds += 1
+                self.specs_stacked += len(specs)
+                self.max_stacked = max(self.max_stacked, len(specs))
+                for pid, value in zip(pids, values):
+                    self._results[pid] = value
+                self._cond.notify_all()
+
+    def hook(self, pid: int) -> Callable[[StackedScoreSpec], Any]:
+        """A ``batch_scorer`` hook bound to one participant slot."""
+        return lambda spec: self.score(pid, spec)

@@ -169,3 +169,75 @@ class TestWorkerFailureRecovery:
         runner = TrialRunner(workers=1, chunk_size=4)
         with pytest.raises(ValueError, match="boom at 0"):
             runner.map_chunks(always_fail_chunk, 8)
+
+
+def worker_pid_chunk(start: int, count: int):
+    """Report which process ran the chunk (for pool-reuse assertions)."""
+    import os
+
+    return [os.getpid()]
+
+
+def exit_in_worker_chunk(start: int, count: int):
+    """Kill the worker process outright (simulated OOM/segv death)."""
+    import os
+
+    if os.getpid() != int(os.environ.get("TEST_RUNNER_PARENT_PID", "-1")):
+        os._exit(3)
+    return list(range(start, start + count))
+
+
+class TestPersistentPool:
+    """Warm-pool lifecycle: reuse, idempotent shutdown, death recovery."""
+
+    def test_pool_is_reused_across_maps(self):
+        from repro.obs.context import obs_context
+
+        with obs_context() as obs:
+            with TrialRunner(workers=2, persistent=True) as runner:
+                first = runner.map_chunks(worker_pid_chunk, 2)
+                second = runner.map_chunks(worker_pid_chunk, 2)
+            counters = obs.metrics.counters()
+        # The second map ran on the same (still-warm) worker processes.
+        assert set(np.concatenate(second)) <= set(np.concatenate(first))
+        assert counters["runner.pool_starts"] == 1
+
+    def test_non_persistent_runner_gets_fresh_pools(self):
+        from repro.obs.context import obs_context
+
+        with obs_context():
+            runner = TrialRunner(workers=2)
+            first = runner.map_chunks(worker_pid_chunk, 2)
+            second = runner.map_chunks(worker_pid_chunk, 2)
+        assert not (set(np.concatenate(first)) & set(np.concatenate(second)))
+
+    def test_shutdown_is_idempotent(self):
+        runner = TrialRunner(workers=2, persistent=True)
+        runner.map_chunks(span_indices, 4)
+        runner.shutdown()
+        runner.shutdown()  # second call is a no-op, not an error
+
+    def test_map_after_shutdown_restarts_lazily(self):
+        with TrialRunner(workers=2, persistent=True) as runner:
+            runner.map_chunks(span_indices, 4)
+            runner.shutdown()
+            parts = runner.map_chunks(span_indices, 4)
+        assert np.concatenate(parts).tolist() == list(range(4))
+
+    def test_results_recover_after_worker_death(self, parent_pid_env):
+        from repro.obs.context import obs_context
+
+        with obs_context() as obs:
+            with TrialRunner(workers=2, chunk_size=4, persistent=True) as runner:
+                with pytest.warns(
+                    RuntimeWarning, match="retrying once in-process"
+                ):
+                    parts = runner.map_chunks(exit_in_worker_chunk, 8)
+                # The broken pool was discarded; the next map runs on a
+                # fresh pool and completes without retries.
+                healthy = runner.map_chunks(span_indices, 8)
+            counters = obs.metrics.counters()
+        assert [v for part in parts for v in part] == list(range(8))
+        assert np.concatenate(healthy).tolist() == list(range(8))
+        assert counters["runner.pool_restarts"] == 1
+        assert counters["runner.pool_starts"] == 2

@@ -1,0 +1,140 @@
+"""Unit tests for the persistent SQLite plan store."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.core.optimizer import SEARCH_REV, FrequencyOptimizer
+from repro.obs.context import obs_context
+from repro.runtime.cache import PlanCache, optimized_plan, result_to_json
+from repro.serve.store import STORE_SCHEMA_VERSION, PlanStore
+
+
+@pytest.fixture(scope="module")
+def result():
+    return FrequencyOptimizer(4, n_draws=8, seed=0).optimize(
+        n_candidates=6, refine_rounds=0
+    )
+
+
+class TestRoundTrip:
+    def test_bit_identical_across_reopen(self, tmp_path, result):
+        path = tmp_path / "plans.sqlite"
+        with PlanStore(path) as store:
+            store.put("k1", result)
+        with PlanStore(path) as store:
+            replayed = store.get("k1")
+        assert replayed is not None
+        # Bitwise: the JSON wire forms match exactly.
+        assert result_to_json(replayed) == result_to_json(result)
+        assert replayed.plan.offsets_hz == result.plan.offsets_hz
+
+    def test_miss_returns_none_and_counts(self, tmp_path, result):
+        with obs_context() as obs, PlanStore(tmp_path / "p.sqlite") as store:
+            assert store.get("absent") is None
+            assert obs.metrics.counters()["plan_store.misses"] == 1
+
+    def test_hits_update_usage_metadata(self, tmp_path, result):
+        with PlanStore(tmp_path / "p.sqlite") as store:
+            store.put("k1", result)
+            store.get("k1")
+            store.get("k1")
+            row = store._conn.execute(
+                "SELECT hits FROM plans WHERE key = 'k1'"
+            ).fetchone()
+        assert row[0] == 2
+
+
+class TestSchemaHygiene:
+    def test_meta_records_version_and_rev(self, tmp_path):
+        with PlanStore(tmp_path / "p.sqlite") as store:
+            meta = store.meta()
+        assert meta["schema_version"] == str(STORE_SCHEMA_VERSION)
+        assert meta["search_rev"] == str(SEARCH_REV)
+
+    def test_schema_version_mismatch_resets_store(self, tmp_path, result):
+        path = tmp_path / "p.sqlite"
+        with PlanStore(path) as store:
+            store.put("k1", result)
+        conn = sqlite3.connect(str(path))
+        with conn:
+            conn.execute(
+                "UPDATE store_meta SET value = '999' "
+                "WHERE key = 'schema_version'"
+            )
+        conn.close()
+        with obs_context() as obs, PlanStore(path) as store:
+            assert len(store) == 0
+            assert store.meta()["schema_version"] == str(STORE_SCHEMA_VERSION)
+            assert obs.metrics.counters()["plan_store.schema_resets"] == 1
+
+    def test_search_rev_mismatch_invalidates_rows(self, tmp_path, result):
+        path = tmp_path / "p.sqlite"
+        with PlanStore(path, search_rev=SEARCH_REV) as store:
+            store.put("k1", result)
+        with obs_context() as obs:
+            with PlanStore(path, search_rev=SEARCH_REV + 1) as store:
+                assert len(store) == 0
+                assert store.get("k1") is None
+            assert obs.metrics.counters()["plan_store.invalidated"] == 1
+
+    def test_corrupt_payload_recovers_by_deletion(self, tmp_path, result):
+        path = tmp_path / "p.sqlite"
+        store = PlanStore(path)
+        store.put("k1", result)
+        with store._conn:
+            store._conn.execute(
+                "UPDATE plans SET payload = '{\"truncated\":' WHERE key = 'k1'"
+            )
+        with obs_context() as obs:
+            assert store.get("k1") is None
+            counters = obs.metrics.counters()
+        assert counters["plan_store.corrupt"] == 1
+        assert len(store) == 0  # the garbage row is gone
+        store.close()
+
+
+class TestLru:
+    def test_prunes_least_recently_used(self, tmp_path, result):
+        with obs_context() as obs:
+            with PlanStore(tmp_path / "p.sqlite", max_entries=2) as store:
+                store.put("a", result)
+                store.put("b", result)
+                store.get("a")  # refresh a; b is now LRU
+                store.put("c", result)
+                assert sorted(store.keys()) == ["a", "c"]
+            assert obs.metrics.counters()["plan_store.evictions"] == 1
+
+    def test_rejects_nonpositive_cap(self, tmp_path):
+        with pytest.raises(ValueError, match="max_entries"):
+            PlanStore(tmp_path / "p.sqlite", max_entries=0)
+
+
+class TestPlanCacheBacking:
+    def test_store_tier_sits_between_memory_and_disk(self, tmp_path, result):
+        store = PlanStore(tmp_path / "p.sqlite")
+        cache = PlanCache(backing=store, max_entries=1)
+        cache.store("k1", result)
+        cache.store("k2", result)  # evicts k1 from the memory tier
+        hit, tier = cache.lookup_tiered("k1")
+        assert tier == "store"
+        assert result_to_json(hit) == result_to_json(result)
+        # The store hit was promoted back into memory.
+        _, tier = cache.lookup_tiered("k1")
+        assert tier == "memory"
+        store.close()
+
+    def test_cached_search_replays_from_store_across_caches(self, tmp_path):
+        """A fresh process (new PlanCache) replays bit-identically."""
+        path = tmp_path / "p.sqlite"
+        kwargs = dict(n_draws=8, n_candidates=4, refine_rounds=0)
+        with PlanStore(path) as store:
+            first = optimized_plan(
+                3, cache=PlanCache(backing=store), **kwargs
+            )
+        with PlanStore(path) as store:
+            cache = PlanCache(backing=store)
+            replay = optimized_plan(3, cache=cache, **kwargs)
+            assert cache.hits == 1 and cache.misses == 0
+        assert result_to_json(replay) == result_to_json(first)

@@ -6,6 +6,7 @@ Usage::
     python tools/check_obs_schema.py [--trace TRACE.jsonl]
         [--metrics METRICS.json] [--manifest MANIFEST.json]
         [--history BENCH_history.jsonl] [--collapsed STACKS.collapsed]
+        [--store PLANS.sqlite] [--serve]
 
 The successor of ``check_trace_schema.py`` (which remains as a thin
 positional-argument wrapper): traces, metrics, manifests, the benchmark
@@ -158,6 +159,145 @@ def check_collapsed(path: Path) -> List[str]:
     return problems
 
 
+def check_store(path: Path) -> List[str]:
+    """Problems found in a persistent SQLite plan store.
+
+    Checks the ``store_meta`` contract (current schema version, an integer
+    ``search_rev``), the ``plans`` column layout, and that every stored
+    payload round-trips through ``result_from_json`` -- a payload the
+    serving path could not replay is a schema problem, not a cache miss.
+    """
+    import sqlite3
+
+    from repro.core.optimizer import SEARCH_REV
+    from repro.runtime.cache import result_from_json
+    from repro.serve.store import STORE_SCHEMA_VERSION
+
+    if not path.is_file():
+        return [f"store file {path} does not exist"]
+    problems: List[str] = []
+    conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+    try:
+        meta = dict(conn.execute("SELECT key, value FROM store_meta"))
+        if meta.get("schema_version") != str(STORE_SCHEMA_VERSION):
+            problems.append(
+                f"store_meta schema_version is "
+                f"{meta.get('schema_version')!r}, expected "
+                f"{STORE_SCHEMA_VERSION!r}"
+            )
+        if not str(meta.get("search_rev", "")).isdigit():
+            problems.append(
+                f"store_meta search_rev is {meta.get('search_rev')!r}, "
+                "expected an integer"
+            )
+        columns = [
+            row[1] for row in conn.execute("PRAGMA table_info(plans)")
+        ]
+        expected = [
+            "key",
+            "search_rev",
+            "payload",
+            "created_unix_s",
+            "last_used_unix_s",
+            "hits",
+        ]
+        if columns != expected:
+            problems.append(
+                f"plans columns are {columns}, expected {expected}"
+            )
+            return problems
+        for key, search_rev, payload in conn.execute(
+            "SELECT key, search_rev, payload FROM plans"
+        ):
+            if search_rev != SEARCH_REV:
+                problems.append(
+                    f"plan {key!r}: search_rev {search_rev} != live "
+                    f"{SEARCH_REV}"
+                )
+            try:
+                result_from_json(json.loads(payload))
+            except (ValueError, KeyError, TypeError) as exc:
+                problems.append(
+                    f"plan {key!r}: payload does not round-trip ({exc})"
+                )
+    except sqlite3.Error as exc:
+        problems.append(f"store query failed: {exc}")
+    finally:
+        conn.close()
+    return problems
+
+
+_SERVE_SOURCES = {"memory", "store", "disk", "coalesced", "computed", "error"}
+
+
+def check_serve_trace(path: Path) -> List[str]:
+    """Serve-layer problems in a trace (the ``--serve`` contract).
+
+    Requires at least one ``serve.request`` span carrying a valid
+    ``source`` attribute, and -- because a serving run always either
+    computes (batches) or replays from the durable tier -- at least one
+    ``serve.batch`` span (with sane ``size``/``groups``) or one
+    ``serve.store_hit`` span.
+    """
+    problems: List[str] = []
+    requests = batches = store_hits = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # check_trace already reports this
+            name = payload.get("name")
+            attrs = payload.get("attrs") or {}
+            if name == "serve.request":
+                requests += 1
+                source = attrs.get("source")
+                if source not in _SERVE_SOURCES:
+                    problems.append(
+                        f"line {lineno}: serve.request source {source!r} "
+                        f"not in {sorted(_SERVE_SOURCES)}"
+                    )
+                if not attrs.get("key"):
+                    problems.append(
+                        f"line {lineno}: serve.request has no key attr"
+                    )
+            elif name == "serve.batch":
+                batches += 1
+                size = attrs.get("size")
+                groups = attrs.get("groups")
+                if not isinstance(size, int) or size < 1:
+                    problems.append(
+                        f"line {lineno}: serve.batch size {size!r} invalid"
+                    )
+                if (
+                    not isinstance(groups, int)
+                    or groups < 1
+                    or (isinstance(size, int) and groups > size)
+                ):
+                    problems.append(
+                        f"line {lineno}: serve.batch groups {groups!r} "
+                        "invalid"
+                    )
+            elif name == "serve.store_hit":
+                store_hits += 1
+                if attrs.get("tier") not in ("store", "disk"):
+                    problems.append(
+                        f"line {lineno}: serve.store_hit tier "
+                        f"{attrs.get('tier')!r} invalid"
+                    )
+    if not requests:
+        problems.append("no serve.request spans in trace")
+    if not batches and not store_hits:
+        problems.append(
+            "no serve.batch or serve.store_hit spans in trace (the run "
+            "neither computed nor replayed from the durable tier)"
+        )
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace", type=Path, help="span trace JSONL file")
@@ -169,18 +309,41 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--collapsed", type=Path, help="collapsed-stack export file"
     )
+    parser.add_argument(
+        "--store", type=Path, help="persistent SQLite plan-store file"
+    )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="additionally require valid serve-layer spans in --trace "
+        "(serve.request sources, serve.batch occupancy, store hits)",
+    )
     args = parser.parse_args(argv)
     if not any(
-        (args.trace, args.metrics, args.manifest, args.history, args.collapsed)
+        (
+            args.trace,
+            args.metrics,
+            args.manifest,
+            args.history,
+            args.collapsed,
+            args.store,
+        )
     ):
         parser.error(
             "nothing to check: pass --trace/--metrics/--manifest/"
-            "--history/--collapsed"
+            "--history/--collapsed/--store"
         )
+    if args.serve and not args.trace:
+        parser.error("--serve needs --trace")
 
     failures = 0
     for label, problems in (
         ("trace", check_trace(args.trace) if args.trace else []),
+        (
+            "serve",
+            check_serve_trace(args.trace) if args.serve else [],
+        ),
+        ("store", check_store(args.store) if args.store else []),
         ("metrics", check_metrics(args.metrics) if args.metrics else []),
         (
             "manifest",
