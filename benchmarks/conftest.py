@@ -71,6 +71,13 @@ def _serve_plans() -> int:
     return int(current_obs().metrics.counter("serve.plans").value)
 
 
+def _fleet_tags() -> int:
+    """Total tags the fleet resolver has inventoried (vectorized path)."""
+    from repro.obs.context import current_obs
+
+    return int(current_obs().metrics.counter("fleet.tags_inventoried").value)
+
+
 def _adaptive_counters() -> tuple:
     """(trials run, trials saved) by the streaming adaptive allocator."""
     from repro.obs.context import current_obs
@@ -101,6 +108,7 @@ def run_once(benchmark, fn, row_extra=None):
     candidates_before = _search_candidates()
     kernel_before = _kernel_samples()
     serve_before = _serve_plans()
+    fleet_before = _fleet_tags()
     adaptive_before = _adaptive_counters()
     start = time.perf_counter()
     result = benchmark.pedantic(fn, iterations=1, rounds=1)
@@ -124,6 +132,7 @@ def run_once(benchmark, fn, row_extra=None):
             _kernel_samples() - kernel_before,
         ),
         ("serve_plans", "plans_per_s", _serve_plans() - serve_before),
+        ("fleet_tags", "fleet_tags_per_s", _fleet_tags() - fleet_before),
     )
     for count_key, rate_key, delta in deltas:
         if not delta:

@@ -12,6 +12,7 @@
 | ``constraint_check``| Sec. 3.6 -- flatness-budget arithmetic           |
 | ``ablations``      | Footnote 5, Secs. 3.4-3.7 design ablations        |
 | ``degradation``    | Extension -- fault-severity degradation tables    |
+| ``fleet``          | Extension -- fleet-scale capture-effect inventory |
 """
 
 from repro.experiments import (
@@ -27,6 +28,7 @@ from repro.experiments import (
     fig11,
     fig12,
     fig13,
+    fleet,
     invivo,
     inventory_throughput,
     optogenetics,
@@ -48,6 +50,7 @@ __all__ = [
     "fig11",
     "fig12",
     "fig13",
+    "fleet",
     "invivo",
     "inventory_throughput",
     "optogenetics",

@@ -65,6 +65,7 @@ from repro.experiments import (
     fig11,
     fig12,
     fig13,
+    fleet,
     invivo,
     inventory_throughput,
     optogenetics,
@@ -165,6 +166,7 @@ EXPERIMENTS: Dict[str, Callable[..., object]] = {
     "fig11": lambda fast, workers, record=None, adaptive=None: _run_figure(fig11, fast, workers, record, adaptive),
     "fig12": lambda fast, workers, record=None, adaptive=None: _run_figure(fig12, fast, workers, record),
     "fig13": lambda fast, workers, record=None, adaptive=None: _run_figure(fig13, fast, workers, record, adaptive),
+    "fleet": lambda fast, workers, record=None, adaptive=None: _run_figure(fleet, fast, workers, record),
     "invivo": lambda fast, workers, record=None, adaptive=None: _run_figure(invivo, fast, record=record),
     "optogenetics": lambda fast, workers, record=None, adaptive=None: _run_figure(optogenetics, fast, record=record),
     "throughput": lambda fast, workers, record=None, adaptive=None: _run_figure(inventory_throughput, fast, record=record),

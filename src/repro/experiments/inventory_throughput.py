@@ -5,16 +5,25 @@ using standard backscatter arbitration. This experiment quantifies the
 cost: read rate (tags/second of airtime) versus population size, with the
 Q-adaptive slotted-ALOHA rounds and the real Gen2 airtimes (PIE downlink
 at Tari, FM0 uplink at the BLF).
+
+The rounds themselves run on the fleet resolver
+(:func:`repro.fleet.collision.run_inventory` in its ideal-arbitration
+mode, ``capture=None``), which emulates the per-tag state machines with
+identical randomness. :func:`run_reference` keeps the original
+:class:`~repro.gen2.inventory.InventoryRound` loop verbatim; the
+regression suite pins ``run == run_reference`` row for row, so the port
+cannot drift from the legacy numbers.
 """
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.constants import DEFAULT_BACKSCATTER_LINK_FREQUENCY_HZ
 from repro.experiments.report import Table
-from repro.gen2.commands import Ack, Query, QueryRep
+from repro.fleet.collision import run_inventory
+from repro.fleet.population import TagSet
 from repro.gen2.fm0 import symbol_duration_s
 from repro.gen2.inventory import InventoryRound, QAlgorithm
 from repro.gen2.pie import PIETiming
@@ -103,6 +112,31 @@ class AirtimeModel:
         return self.downlink_s(22, preamble=True) + TURNAROUND_S
 
 
+def _population_tag_set(population: int, population_seq) -> TagSet:
+    """Idealized tags from the legacy seed tree (amplitudes 1, all powered).
+
+    One child stream per tag plus one for the EPCs; spawning keeps the
+    streams statistically independent, and keeping the legacy spawn
+    layout keeps every draw identical to :func:`run_reference`.
+    """
+    children = population_seq.spawn(population + 1)
+    epc_rng = np.random.default_rng(children[0])
+    epc_bits = np.empty((population, 96), dtype=int)
+    mac_rngs = []
+    for index in range(population):
+        epc_bits[index] = epc_rng.integers(0, 2, 96)
+        mac_rngs.append(np.random.default_rng(children[1 + index]))
+    return TagSet(
+        epc_bits=epc_bits,
+        reply_amplitude_v=np.ones(population),
+        powered=np.ones(population, dtype=bool),
+        mac_rngs=mac_rngs,
+        global_indices=np.arange(population),
+        depths_m=np.zeros(population),
+        input_voltage_v=np.zeros(population),
+    )
+
+
 def run(config: ThroughputConfig = ThroughputConfig()) -> ThroughputResult:
     airtime = AirtimeModel(blf_hz=config.blf_hz)
     rows: List[Tuple[int, int, float, float, float]] = []
@@ -110,9 +144,44 @@ def run(config: ThroughputConfig = ThroughputConfig()) -> ThroughputResult:
     for population, population_seq in zip(
         config.populations, root.spawn(len(config.populations))
     ):
-        # One child stream per tag plus one for the EPCs; spawning keeps the
-        # streams statistically independent (unlike the old seed+offset
-        # arithmetic, which could collide across populations and tags).
+        tags = _population_tag_set(population, population_seq)
+        result = run_inventory(
+            tags,
+            None,  # ideal arbitration: singleton reads, collision loses
+            initial_q=config.initial_q,
+            max_rounds=config.max_rounds,
+        )
+        total_airtime = 0.0
+        total_slots = 0
+        for outcome in result.rounds:
+            total_airtime += airtime.query_s()
+            for slot in range(outcome.n_replies.size):
+                total_airtime += airtime.slot_s(outcome.legacy_kind(slot))
+                total_slots += 1
+        read = result.reads
+        rate = read / total_airtime if total_airtime > 0 else 0.0
+        efficiency = read / total_slots if total_slots else 0.0
+        rows.append(
+            (population, total_slots, total_airtime * 1e3, rate, efficiency)
+        )
+    return ThroughputResult(rows=rows)
+
+
+def run_reference(
+    config: ThroughputConfig = ThroughputConfig(),
+) -> ThroughputResult:
+    """The original InventoryRound-driven loop, kept verbatim.
+
+    The regression suite pins ``run(config).rows == run_reference(config).rows``
+    exactly: the fleet resolver must emulate these state machines draw
+    for draw.
+    """
+    airtime = AirtimeModel(blf_hz=config.blf_hz)
+    rows: List[Tuple[int, int, float, float, float]] = []
+    root = np.random.SeedSequence(config.seed)
+    for population, population_seq in zip(
+        config.populations, root.spawn(len(config.populations))
+    ):
         children = population_seq.spawn(population + 1)
         rng = np.random.default_rng(children[0])
         tags = []

@@ -1,0 +1,704 @@
+"""Physical collision-slot resolution with capture-effect arbitration.
+
+The seed MAC treated any slot with more than one reply as undecodable.
+Real dense deployments do not behave that way: per-tag power asymmetry at
+depth means the strongest reply in a collided slot often rides far above
+the others, and the reader decodes it anyway -- the capture effect. This
+module replaces reply counting with physics:
+
+* Every replier's FM0-encoded RN16 enters the slot's composite waveform
+  weighted by its backscatter amplitude at the reader.
+* The composite passes through the out-of-band reader's receive chain
+  (SAW, thermal noise, AGC + ADC, coherent averaging) via the batched
+  :func:`repro.kernels.capture_batch` kernel, one call per attempted
+  slot; the scalar reference path runs the pinned per-period loop
+  (:meth:`~repro.reader.out_of_band.OutOfBandReader.capture_response_scalar`).
+* All of a round's averaged waveforms are stacked ``(slots, T)`` and
+  decoded in a single :func:`repro.kernels.fm0_block_errors` call; a
+  zero error count against the strongest replier's RN16 is a successful
+  capture. Slots whose strongest-reply SINR sits below the attempt
+  threshold are skipped outright (they cannot decode).
+
+Two resolvers share these semantics. :func:`run_inventory` is the
+vectorized production path: per round it draws every active tag's slot
+counter and RN16 from the tag's own generator, resolves all slots in
+stacked arrays, and loops only over decode attempts. Ties on reply
+amplitude break deterministically toward the lowest global tag index.
+:func:`run_inventory_reference` drives actual
+:class:`~repro.gen2.tag_state.Gen2Tag` state machines slot by slot with
+scalar receive and decode -- the honest serial baseline the parity tests
+and the ``bench_fleet`` speedup gate compare against. Both consume
+identical randomness (per-tag MAC streams; per-slot decode streams keyed
+on ``(fleet hash, seed, shard, round, slot)``), so their results are
+bitwise identical.
+
+Fault plans apply at both planes: dropout and detuning enter through
+:func:`repro.fleet.population.generate_shard` (they shape the powered
+mask and amplitudes), and ``bit_corruption`` corrupts each attempted
+slot's averaged waveform ahead of the decoder, keyed on a deterministic
+per-(shard, round, slot) trial index.
+
+Reader-side MAC conventions (identical in both resolvers, documented
+here once): a captured slot ACKs only the strongest replier -- the
+losers stay in REPLY and rejoin at the next Query, exactly as the seed
+MAC left un-ACKed colliders. For Q adaptation the reader scores what it
+observed: a successful decode counts as a singleton, a failed decode
+with energy in the slot counts as a collision (an invalid reply), and an
+empty slot counts as empty. EPC decode after a successful RN16 exchange
+is assumed clean (the ACK reply rides the same link at far higher SNR
+than the contended RN16).
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DecodingError, ProtocolError
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import EMPTY_PLAN, FaultPlan
+from repro.gen2.commands import Ack, Query, QueryRep
+from repro.gen2.fm0 import (
+    chips_to_waveform,
+    decode_chips,
+    encode_chips,
+    encode_chips_block,
+    waveform_to_chips,
+)
+from repro.gen2.inventory import QAlgorithm
+from repro.gen2.tag_state import Gen2Tag
+from repro.kernels import capture_block, fm0_block_errors
+from repro.obs.context import current_obs
+from repro.fleet.population import TagSet
+
+_DECODE_STREAM_TAG = 0x0F1EE8
+"""Domain separation for per-slot decode-noise streams."""
+
+RN16_BITS = 16
+
+#: Chips of one FM0 RN16 reply: 12-chip preamble + 2 * (16 bits + dummy).
+RN16_CHIPS = 12 + 2 * (RN16_BITS + 1)
+
+
+@dataclass(frozen=True)
+class CaptureModel:
+    """Physical parameters of the capture-effect arbitration.
+
+    Attributes:
+        n_periods: CIB periods coherently averaged per slot.
+        samples_per_chip: Receiver oversampling of the FM0 chips.
+        min_attempt_sinr: Amplitude-domain SINR below which the reader
+            does not even attempt a decode (the capture threshold).
+        amplitude_scale: Multiplier mapping the fleet's backscatter
+            amplitudes into the receive chain's input range.
+        stall_rounds: Stop an inventory after this many consecutive
+            rounds with replies but no successful decode (tags pinned
+            below the SINR floor would otherwise collide forever).
+    """
+
+    n_periods: int = 8
+    samples_per_chip: int = 2
+    min_attempt_sinr: float = 1.0
+    amplitude_scale: float = 1.0
+    stall_rounds: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_periods < 1:
+            raise ConfigurationError(
+                f"n_periods must be >= 1, got {self.n_periods}"
+            )
+        if self.samples_per_chip < 1:
+            raise ConfigurationError(
+                f"samples_per_chip must be >= 1, got {self.samples_per_chip}"
+            )
+        if self.min_attempt_sinr <= 0:
+            raise ConfigurationError(
+                f"min_attempt_sinr must be positive, got "
+                f"{self.min_attempt_sinr}"
+            )
+        if self.amplitude_scale <= 0:
+            raise ConfigurationError(
+                f"amplitude_scale must be positive, got "
+                f"{self.amplitude_scale}"
+            )
+        if self.stall_rounds < 1:
+            raise ConfigurationError(
+                f"stall_rounds must be >= 1, got {self.stall_rounds}"
+            )
+
+
+@dataclass
+class RoundOutcome:
+    """Per-slot record of one inventory round.
+
+    Attributes:
+        q: The Q the round ran with (``2**q`` slots).
+        n_replies: ``(n_slots,)`` actual reply counts.
+        decoded: ``(n_slots,)`` whether the reader got the RN16.
+        winners: ``(n_slots,)`` global index of the read tag, or -1.
+    """
+
+    q: int
+    n_replies: np.ndarray
+    decoded: np.ndarray
+    winners: np.ndarray
+
+    def legacy_kind(self, slot: int) -> str:
+        """The seed MAC's outcome label, from reply counts alone."""
+        count = int(self.n_replies[slot])
+        if count == 0:
+            return "empty"
+        return "singleton" if count == 1 else "collision"
+
+    def airtime_kind(self, slot: int) -> str:
+        """Outcome label the physical airtime model charges for.
+
+        A decoded slot carries the full singleton exchange (RN16 + ACK +
+        EPC); an occupied slot that failed to decode costs a collision
+        (RN16 heard, no ACK) whether one tag replied or five.
+        """
+        count = int(self.n_replies[slot])
+        if count == 0:
+            return "empty"
+        return "singleton" if bool(self.decoded[slot]) else "collision"
+
+
+@dataclass
+class ShardInventoryResult:
+    """Merged outcome of inventorying one shard to completion.
+
+    Attributes:
+        shard: Shard index.
+        n_tags / n_powered: Population and powered-up counts.
+        rounds: Per-round slot records, in round order.
+        read_order: Global tag indices in the order they were read.
+    """
+
+    shard: int
+    n_tags: int
+    n_powered: int
+    rounds: List[RoundOutcome] = field(default_factory=list)
+    read_order: List[int] = field(default_factory=list)
+
+    @property
+    def reads(self) -> int:
+        return len(self.read_order)
+
+    @property
+    def slots_used(self) -> int:
+        return sum(outcome.n_replies.size for outcome in self.rounds)
+
+    @property
+    def n_collisions(self) -> int:
+        return sum(
+            int(np.count_nonzero(outcome.n_replies > 1))
+            for outcome in self.rounds
+        )
+
+    @property
+    def n_captures(self) -> int:
+        """Decoded slots that held more than one reply."""
+        return sum(
+            int(np.count_nonzero(outcome.decoded & (outcome.n_replies > 1)))
+            for outcome in self.rounds
+        )
+
+    @property
+    def n_failed_slots(self) -> int:
+        """Occupied slots the reader could not decode."""
+        return sum(
+            int(np.count_nonzero(~outcome.decoded & (outcome.n_replies > 0)))
+            for outcome in self.rounds
+        )
+
+    def signature(self) -> Tuple:
+        """Hashable full-outcome fingerprint (parity / determinism tests)."""
+        return (
+            self.shard,
+            self.n_tags,
+            self.n_powered,
+            tuple(self.read_order),
+            tuple(
+                (
+                    outcome.q,
+                    tuple(int(v) for v in outcome.n_replies),
+                    tuple(bool(v) for v in outcome.decoded),
+                    tuple(int(v) for v in outcome.winners),
+                )
+                for outcome in self.rounds
+            ),
+        )
+
+
+def _decode_rng(
+    seed_material: int,
+    seed: int,
+    shard_index: int,
+    round_index: int,
+    slot: int,
+) -> np.random.Generator:
+    """The decode-noise generator of one (shard, round, slot) triple.
+
+    Keyed on absolute coordinates, never on evaluation order, so the
+    vectorized and reference paths -- and any worker schedule -- consume
+    identical noise for the same slot.
+    """
+    sequence = np.random.SeedSequence(
+        [
+            _DECODE_STREAM_TAG,
+            int(seed_material),
+            int(seed),
+            int(shard_index),
+            int(round_index),
+            int(slot),
+        ]
+    )
+    return np.random.default_rng(sequence)
+
+
+def _decode_trial_index(
+    shard_index: int, round_index: int, slot: int, max_rounds: int
+) -> int:
+    """Deterministic fault-injection trial index of one decode attempt."""
+    return (shard_index * max_rounds + round_index) * (2**16) + slot
+
+
+def _reader():
+    # Local import: reader.out_of_band imports repro.kernels, which is
+    # fine, but constructing here keeps module import light for the
+    # ideal-capture users (the throughput port) that never decode.
+    from repro.reader.out_of_band import OutOfBandReader
+
+    return OutOfBandReader()
+
+
+def _noise_after_averaging(reader, n_periods: int) -> float:
+    """Real-part noise RMS of the coherently averaged capture."""
+    return reader.chain.noise_std() / math.sqrt(2.0) / math.sqrt(n_periods)
+
+
+def _stop_state(round_had_replies: bool, round_had_success: bool, stalled: int) -> int:
+    """Shared stall counter update (identical in both resolvers)."""
+    if not round_had_replies:
+        return 0
+    return 0 if round_had_success else stalled + 1
+
+
+def run_inventory(
+    tags: TagSet,
+    capture: Optional[CaptureModel] = None,
+    *,
+    initial_q: int = 4,
+    max_rounds: int = 64,
+    session: int = 0,
+    seed_material: int = 0,
+    seed: int = 0,
+    shard_index: int = 0,
+    fault_plan: FaultPlan = EMPTY_PLAN,
+) -> ShardInventoryResult:
+    """Inventory one shard with vectorized slot resolution.
+
+    With ``capture=None`` the resolver reproduces the seed MAC's ideal
+    arbitration exactly (singleton slots read, collided slots lost, Q
+    fed the raw reply counts) -- the mode the ported throughput
+    experiment pins against its legacy loop. With a
+    :class:`CaptureModel` every occupied slot becomes a physical decode
+    attempt as described in the module docstring.
+    """
+    del session  # one inventoried flag per run; kept for API symmetry.
+    obs = current_obs()
+    n = tags.n_tags
+    algorithm = QAlgorithm(initial_q=initial_q)
+    injector = FaultInjector(fault_plan, seed)
+    reader = _reader() if capture is not None else None
+    noise_avg = (
+        _noise_after_averaging(reader, capture.n_periods)
+        if capture is not None
+        else 0.0
+    )
+    inventoried = np.zeros(n, dtype=bool)
+    result = ShardInventoryResult(
+        shard=shard_index,
+        n_tags=n,
+        n_powered=int(np.count_nonzero(tags.powered)),
+    )
+    stalled = 0
+    with obs.stage_span(
+        "fleet.inventory", shard=shard_index, tags=n, mode="vectorized"
+    ):
+        for round_index in range(max_rounds):
+            q = algorithm.q
+            n_slots = 2**q
+            active = np.flatnonzero(tags.powered & ~inventoried)
+            if active.size == 0:
+                # The quiet round: nobody participates, the reader walks
+                # the slots, sees only empties, and concludes.
+                counts = np.zeros(n_slots, dtype=np.int32)
+                result.rounds.append(
+                    RoundOutcome(
+                        q=q,
+                        n_replies=counts,
+                        decoded=np.zeros(n_slots, dtype=bool),
+                        winners=np.full(n_slots, -1, dtype=np.int64),
+                    )
+                )
+                for _ in range(n_slots):
+                    algorithm.on_slot(0)
+                break
+
+            # Per-tag draws, in global tag order, from each tag's own
+            # stream: slot counter first, then the RN16 it will
+            # backscatter when that counter expires -- the exact
+            # consumption order of the Gen2Tag state machine.
+            slots = np.empty(active.size, dtype=np.int64)
+            rn16s = np.empty((active.size, RN16_BITS), dtype=int)
+            for k, tag_row in enumerate(active):
+                rng = tags.mac_rngs[tag_row]
+                slots[k] = int(rng.integers(0, n_slots))
+                rn16s[k] = rng.integers(0, 2, size=RN16_BITS)
+
+            counts = np.bincount(slots, minlength=n_slots).astype(np.int32)
+            scale = capture.amplitude_scale if capture is not None else 1.0
+            amps = tags.reply_amplitude_v[active] * scale
+
+            # Strongest replier per slot; amplitude ties break toward
+            # the lowest global tag index (lexsort's last key is
+            # primary, earlier keys break ties in order).
+            order = np.lexsort((active[: len(slots)], -amps, slots))
+            sorted_slots = slots[order]
+            first = np.ones(order.size, dtype=bool)
+            first[1:] = sorted_slots[1:] != sorted_slots[:-1]
+            winner_rows = order[first]  # rows into `active`, slot-sorted
+            winner_slots = slots[winner_rows]
+
+            decoded_slots = np.zeros(n_slots, dtype=bool)
+            if capture is None:
+                singleton = counts[winner_slots] == 1
+                decoded_slots[winner_slots[singleton]] = True
+            else:
+                decoded_slots = _vectorized_decode(
+                    capture,
+                    reader,
+                    injector,
+                    noise_avg,
+                    slots,
+                    rn16s,
+                    amps,
+                    counts,
+                    winner_rows,
+                    winner_slots,
+                    n_slots,
+                    seed_material,
+                    seed,
+                    shard_index,
+                    round_index,
+                    max_rounds,
+                )
+
+            winners = np.full(n_slots, -1, dtype=np.int64)
+            read_rows = winner_rows[decoded_slots[winner_slots]]
+            read_slots = slots[read_rows]
+            winners[read_slots] = tags.global_indices[active[read_rows]]
+            inventoried[active[read_rows]] = True
+            result.read_order.extend(int(v) for v in winners[read_slots])
+
+            result.rounds.append(
+                RoundOutcome(
+                    q=q,
+                    n_replies=counts,
+                    decoded=decoded_slots,
+                    winners=winners,
+                )
+            )
+
+            # Q adaptation over the reader's view of each slot, in slot
+            # order: decode=singleton, occupied-but-undecoded=collision.
+            effective = counts.astype(np.int64)
+            if capture is not None:
+                failed = (counts >= 1) & ~decoded_slots
+                effective[decoded_slots] = 1
+                effective[failed & (counts == 1)] = 2
+            for value in effective:
+                algorithm.on_slot(int(value))
+
+            had_replies = bool(np.any(counts > 0))
+            had_success = bool(np.any(decoded_slots))
+            stalled = _stop_state(had_replies, had_success, stalled)
+            if not had_replies:
+                break
+            if capture is not None and stalled >= capture.stall_rounds:
+                break
+
+    obs.metrics.counter("fleet.rounds").inc(len(result.rounds))
+    obs.metrics.counter("fleet.slots_resolved").inc(result.slots_used)
+    obs.metrics.counter("fleet.tags_inventoried").inc(result.reads)
+    obs.metrics.counter("fleet.captures").inc(result.n_captures)
+    return result
+
+
+def _vectorized_decode(
+    capture: CaptureModel,
+    reader,
+    injector: FaultInjector,
+    noise_avg: float,
+    slots: np.ndarray,
+    rn16s: np.ndarray,
+    amps: np.ndarray,
+    counts: np.ndarray,
+    winner_rows: np.ndarray,
+    winner_slots: np.ndarray,
+    n_slots: int,
+    seed_material: int,
+    seed: int,
+    shard_index: int,
+    round_index: int,
+    max_rounds: int,
+) -> np.ndarray:
+    """Stacked decode attempts of one round; returns per-slot success."""
+    obs = current_obs()
+    spc = capture.samples_per_chip
+    n_samples = RN16_CHIPS * spc
+
+    # SINR prefilter: winner amplitude over the RMS of everything else.
+    slot_power = np.bincount(slots, weights=amps**2, minlength=n_slots)
+    winner_amps = amps[winner_rows]
+    interference = slot_power[winner_slots] - winner_amps**2
+    interference = np.maximum(interference, 0.0)
+    sinr = winner_amps / np.sqrt(interference + noise_avg**2)
+    attempt = sinr >= capture.min_attempt_sinr
+    attempt_rows = winner_rows[attempt]
+    attempt_slots = slots[attempt_rows]
+    decoded = np.zeros(n_slots, dtype=bool)
+    if attempt_rows.size == 0:
+        return decoded
+
+    # Composite waveforms: every replier of an attempted slot adds its
+    # amplitude-weighted FM0 RN16, accumulated in global tag order
+    # (np.add.at applies repeated-index additions sequentially, so the
+    # summation order matches the reference's per-tag loop).
+    row_of_slot = np.full(n_slots, -1, dtype=np.int64)
+    row_of_slot[attempt_slots] = np.arange(attempt_slots.size)
+    composites = np.zeros((attempt_slots.size, n_samples))
+    repliers = np.flatnonzero(row_of_slot[slots] >= 0)
+    chips = encode_chips_block(rn16s[repliers])
+    waveforms = np.repeat(np.where(chips == 1, 1.0, -1.0), spc, axis=1)
+    np.add.at(
+        composites,
+        row_of_slot[slots[repliers]],
+        amps[repliers, None] * waveforms,
+    )
+
+    # Receive the whole round's attempts through the reader chain in one
+    # stacked call (attempts x periods), then DC-block per attempt --
+    # the same scalar ``mean of this capture`` subtraction the reference
+    # reader applies -- and decode the stack in one FM0 block call.
+    rngs = [
+        _decode_rng(seed_material, seed, shard_index, round_index, int(slot))
+        for slot in attempt_slots
+    ]
+    averaged = capture_block(
+        reader.chain, composites, capture.n_periods, rngs
+    )
+    averaged -= averaged.mean(axis=1)[:, None]
+    if injector.active:
+        for a, slot in enumerate(attempt_slots):
+            averaged[a] = injector.corrupt_waveform(
+                _decode_trial_index(
+                    shard_index, round_index, int(slot), max_rounds
+                ),
+                averaged[a],
+                spc,
+            )
+
+    tx_bits = rn16s[attempt_rows]
+    errors = fm0_block_errors(tx_bits, averaged, spc)
+    decoded[attempt_slots[errors == 0]] = True
+    obs.metrics.counter("fleet.decode_attempts").inc(attempt_rows.size)
+    return decoded
+
+
+def run_inventory_reference(
+    tags: TagSet,
+    capture: Optional[CaptureModel] = None,
+    *,
+    initial_q: int = 4,
+    max_rounds: int = 64,
+    session: int = 0,
+    seed_material: int = 0,
+    seed: int = 0,
+    shard_index: int = 0,
+    fault_plan: FaultPlan = EMPTY_PLAN,
+) -> ShardInventoryResult:
+    """Scalar reference resolver: real Gen2Tag machines, slot by slot.
+
+    Each round issues an actual ``Query`` and walks every slot with
+    ``QueryRep`` against :class:`~repro.gen2.tag_state.Gen2Tag` objects
+    sharing the vectorized path's per-tag generators; attempted slots
+    run the pinned scalar receive loop and the scalar chip decoder.
+    Bitwise-identical outcomes to :func:`run_inventory` -- and the
+    honest serial baseline of the ``bench_fleet`` speedup gate.
+    """
+    obs = current_obs()
+    n = tags.n_tags
+    algorithm = QAlgorithm(initial_q=initial_q)
+    injector = FaultInjector(fault_plan, seed)
+    reader = _reader() if capture is not None else None
+    noise_avg = (
+        _noise_after_averaging(reader, capture.n_periods)
+        if capture is not None
+        else 0.0
+    )
+    scale = capture.amplitude_scale if capture is not None else 1.0
+
+    objs = []
+    for row in range(n):
+        tag = Gen2Tag(tuple(int(b) for b in tags.epc_bits[row]), tags.mac_rngs[row])
+        if tags.powered[row]:
+            tag.power_up()
+        objs.append(tag)
+
+    result = ShardInventoryResult(
+        shard=shard_index,
+        n_tags=n,
+        n_powered=int(np.count_nonzero(tags.powered)),
+    )
+    stalled = 0
+    with obs.stage_span(
+        "fleet.inventory", shard=shard_index, tags=n, mode="reference"
+    ):
+        for round_index in range(max_rounds):
+            q = algorithm.q
+            n_slots = 2**q
+            query = Query(session=session, target="A", q=q)
+            counts = np.zeros(n_slots, dtype=np.int32)
+            decoded_slots = np.zeros(n_slots, dtype=bool)
+            winners = np.full(n_slots, -1, dtype=np.int64)
+            round_had_success = False
+            for slot in range(n_slots):
+                repliers: List[Tuple[int, Tuple[int, ...]]] = []
+                if slot == 0:
+                    for row, tag in enumerate(objs):
+                        reply = tag.handle_query(query)
+                        if reply is not None:
+                            repliers.append((row, reply.bits))
+                else:
+                    query_rep = QueryRep(session=session)
+                    for row, tag in enumerate(objs):
+                        reply = tag.handle_query_rep(query_rep)
+                        if reply is not None:
+                            repliers.append((row, reply.bits))
+                counts[slot] = len(repliers)
+                if not repliers:
+                    algorithm.on_slot(0)
+                    continue
+                winner_row, winner_bits = max(
+                    repliers,
+                    key=lambda item: (
+                        tags.reply_amplitude_v[item[0]] * scale,
+                        -item[0],
+                    ),
+                )
+                if capture is None:
+                    success = len(repliers) == 1
+                else:
+                    success = _scalar_decode_attempt(
+                        capture,
+                        reader,
+                        injector,
+                        noise_avg,
+                        repliers,
+                        winner_row,
+                        winner_bits,
+                        tags.reply_amplitude_v,
+                        scale,
+                        slot,
+                        seed_material,
+                        seed,
+                        shard_index,
+                        round_index,
+                        max_rounds,
+                    )
+                if success:
+                    epc_reply = objs[winner_row].handle_ack(
+                        Ack(rn16=winner_bits)
+                    )
+                    assert epc_reply is not None
+                    decoded_slots[slot] = True
+                    winners[slot] = int(tags.global_indices[winner_row])
+                    result.read_order.append(int(winners[slot]))
+                    round_had_success = True
+                if capture is None:
+                    algorithm.on_slot(len(repliers))
+                else:
+                    algorithm.on_slot(
+                        1 if success else max(len(repliers), 2)
+                    )
+            result.rounds.append(
+                RoundOutcome(
+                    q=q,
+                    n_replies=counts,
+                    decoded=decoded_slots,
+                    winners=winners,
+                )
+            )
+            # Every active tag replies within its round (slot < 2**q), so
+            # a reply-free round means nobody is left: the quiet round.
+            had_replies = bool(np.any(counts > 0))
+            stalled = _stop_state(had_replies, round_had_success, stalled)
+            if not had_replies:
+                break
+            if capture is not None and stalled >= capture.stall_rounds:
+                break
+
+    obs.metrics.counter("fleet.reference_reads").inc(result.reads)
+    return result
+
+
+def _scalar_decode_attempt(
+    capture: CaptureModel,
+    reader,
+    injector: FaultInjector,
+    noise_avg: float,
+    repliers: List[Tuple[int, Tuple[int, ...]]],
+    winner_row: int,
+    winner_bits: Tuple[int, ...],
+    amplitudes: np.ndarray,
+    scale: float,
+    slot: int,
+    seed_material: int,
+    seed: int,
+    shard_index: int,
+    round_index: int,
+    max_rounds: int,
+) -> bool:
+    """One slot's decode attempt on the scalar path."""
+    spc = capture.samples_per_chip
+    amp_w = float(amplitudes[winner_row]) * scale
+    total_power = sum(
+        (float(amplitudes[row]) * scale) ** 2 for row, _ in repliers
+    )
+    interference = max(total_power - amp_w**2, 0.0)
+    sinr = amp_w / math.sqrt(interference + noise_avg**2)
+    if sinr < capture.min_attempt_sinr:
+        return False
+    composite = np.zeros(RN16_CHIPS * spc)
+    for row, bits in repliers:  # ascending row: global tag order
+        composite += (float(amplitudes[row]) * scale) * chips_to_waveform(
+            encode_chips(tuple(bits)), spc
+        )
+    rng = _decode_rng(seed_material, seed, shard_index, round_index, slot)
+    received = reader.capture_response_scalar(
+        composite, 1.0, capture.n_periods, rng
+    ).waveform
+    if injector.active:
+        received = injector.corrupt_waveform(
+            _decode_trial_index(shard_index, round_index, slot, max_rounds),
+            received,
+            spc,
+        )
+    try:
+        decoded = decode_chips(waveform_to_chips(received, spc))
+    except (DecodingError, ProtocolError):
+        return False
+    return decoded == tuple(winner_bits)

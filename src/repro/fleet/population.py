@@ -1,0 +1,324 @@
+"""Deterministic implant-fleet generation.
+
+A :class:`FleetConfig` describes a population of battery-free implants in
+a phantom: how many tags, the depth band they occupy, the medium, the
+array illuminating them. :func:`generate_shard` realizes one shard of
+that population as plain arrays -- per-tag depth, harvested input
+voltage, powered mask, and backscatter amplitude at the reader -- plus
+the per-tag MAC generators the collision resolver draws slot counters and
+RN16s from.
+
+Determinism contract: every per-tag quantity derives from a
+``SeedSequence`` keyed on ``(fleet tag, config hash, seed, global tag
+index)``, so tag *i* is the same implant no matter which shard, chunk, or
+worker realizes it, and the whole fleet is hash-stable and
+cache-tokenable exactly like a :class:`~repro.faults.plan.FaultPlan`.
+
+The physics follows the paper's pipeline: Eq. 2 gives each array
+element's field at the tag through air plus tissue, the constructive-
+alignment instant sums the per-element amplitudes (the CIB peak), Eq. 3
+plus the matched front-end turn that into the rectifier input voltage,
+and the Eq. 1 threshold decides power-up. The uplink side reuses the
+out-of-band reader's two-way backscatter budget, which is what gives
+deeper tags exponentially weaker replies -- the power asymmetry that
+makes capture-effect arbitration matter.
+"""
+
+import hashlib
+import json
+import math
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import CIB_CENTER_FREQUENCY_HZ
+from repro.em import media as media_lib
+from repro.em.channel import arc_array_distances
+from repro.em.propagation import tissue_field_amplitude
+from repro.errors import ConfigurationError
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import EMPTY_PLAN, FaultPlan
+from repro.harvester.tag_power import HarvesterFrontEnd, TagPowerModel
+from repro.rf.antenna import MINIATURE_TAG_ANTENNA, STANDARD_TAG_ANTENNA
+
+_FLEET_STREAM_TAG = 0x0F1EE7
+"""Domain-separation tag: fleet streams never collide with trial or fault
+generators."""
+
+_STREAM_PHYSICS = 0
+_STREAM_MAC = 1
+"""Per-tag sub-streams: placement/EPC draws and MAC draws are separated so
+adding a physics draw can never shift a slot-counter draw."""
+
+TAG_ANTENNAS = {
+    "standard": STANDARD_TAG_ANTENNA,
+    "miniature": MINIATURE_TAG_ANTENNA,
+}
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One implant fleet, fully determined by its field values.
+
+    Attributes:
+        n_tags: Population size.
+        depth_min_m / depth_max_m: Uniform depth band the tags occupy.
+        medium: Tissue filling the phantom (a ``repro.em.media`` name).
+        standoff_m: Array standoff from the phantom boundary.
+        n_antennas: CIB array size.
+        frequency_hz: Beamformer center frequency.
+        eirp_per_antenna_w: Per-element EIRP.
+        tag: ``"standard"`` or ``"miniature"`` implant antenna.
+        initial_q: Starting Q of every shard's inventory.
+        max_rounds: Round cap per shard.
+        session: Gen2 inventory session (2 by default: its inventoried
+            flag persists through brief power loss, keeping
+            time-to-inventory well-defined).
+        n_shards: Fixed semantic partition of the population -- the
+            reader inventories each shard separately (a Select-mask
+            sub-population). Part of the config, never derived from the
+            worker count, so results are identical for any scheduling.
+        seed: Root seed of every per-tag stream.
+    """
+
+    n_tags: int = 100
+    depth_min_m: float = 0.02
+    depth_max_m: float = 0.10
+    medium: str = "muscle"
+    standoff_m: float = 0.5
+    n_antennas: int = 10
+    frequency_hz: float = CIB_CENTER_FREQUENCY_HZ
+    eirp_per_antenna_w: float = 6.0
+    tag: str = "standard"
+    initial_q: int = 4
+    max_rounds: int = 64
+    session: int = 2
+    n_shards: int = 4
+    seed: int = 73
+
+    def __post_init__(self) -> None:
+        if self.n_tags < 1:
+            raise ConfigurationError(
+                f"n_tags must be >= 1, got {self.n_tags}"
+            )
+        if not 0 <= self.depth_min_m <= self.depth_max_m:
+            raise ConfigurationError(
+                "depth band must satisfy 0 <= min <= max, got "
+                f"[{self.depth_min_m}, {self.depth_max_m}]"
+            )
+        if self.tag not in TAG_ANTENNAS:
+            raise ConfigurationError(
+                f"tag must be one of {sorted(TAG_ANTENNAS)}, got {self.tag!r}"
+            )
+        if not 1 <= self.n_shards <= self.n_tags:
+            raise ConfigurationError(
+                f"n_shards must be in [1, n_tags], got {self.n_shards}"
+            )
+        if self.session not in (0, 1, 2, 3):
+            raise ConfigurationError(
+                f"session must be in 0..3, got {self.session}"
+            )
+        media_lib.get_medium(self.medium)  # validates the name
+
+    def stable_hash(self) -> str:
+        """sha256 of the canonical field dict (16 hex chars)."""
+        canonical = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def cache_token(self) -> str:
+        """Cache-key component identifying this fleet."""
+        return f"fleet:{self.stable_hash()}"
+
+    def seed_material(self) -> int:
+        """The hash as an integer, for SeedSequence keying."""
+        return int(self.stable_hash(), 16)
+
+
+def shard_bounds(config: FleetConfig, shard: int) -> Tuple[int, int]:
+    """Global tag-index range ``[lo, hi)`` of one shard.
+
+    Shards are contiguous, balanced partitions: the first ``n_tags %
+    n_shards`` shards carry one extra tag. A function of the config
+    alone -- never of workers or chunk size.
+    """
+    if not 0 <= shard < config.n_shards:
+        raise ValueError(
+            f"shard must be in [0, {config.n_shards}), got {shard}"
+        )
+    base, extra = divmod(config.n_tags, config.n_shards)
+    lo = shard * base + min(shard, extra)
+    hi = lo + base + (1 if shard < extra else 0)
+    return lo, hi
+
+
+@dataclass
+class TagSet:
+    """One shard's tags, realized as arrays plus per-tag MAC generators.
+
+    The collision resolver is agnostic of where a TagSet came from: the
+    fleet generator builds physical ones, and the ported throughput
+    experiment builds idealized ones from its legacy seed tree.
+
+    Attributes:
+        epc_bits: ``(n, 96)`` EPC bits.
+        reply_amplitude_v: ``(n,)`` backscatter amplitude at the reader.
+        powered: ``(n,)`` power-up mask (unpowered tags never reply).
+        mac_rngs: Per-tag generators for slot-counter and RN16 draws.
+        global_indices: ``(n,)`` global tag indices (read-order identity).
+        depths_m: ``(n,)`` implant depths.
+        input_voltage_v: ``(n,)`` harvested rectifier input amplitude
+            (after detuning faults).
+    """
+
+    epc_bits: np.ndarray
+    reply_amplitude_v: np.ndarray
+    powered: np.ndarray
+    mac_rngs: List[np.random.Generator]
+    global_indices: np.ndarray
+    depths_m: np.ndarray
+    input_voltage_v: np.ndarray
+
+    @property
+    def n_tags(self) -> int:
+        return len(self.mac_rngs)
+
+
+def _tag_rng(
+    config: FleetConfig, tag_index: int, stream: int
+) -> np.random.Generator:
+    sequence = np.random.SeedSequence(
+        [
+            _FLEET_STREAM_TAG,
+            config.seed_material(),
+            int(config.seed),
+            int(tag_index),
+            int(stream),
+        ]
+    )
+    return np.random.default_rng(sequence)
+
+
+def backscatter_amplitude_v(
+    forward_gain: float,
+    tag_aperture_m2: float,
+    reader_eirp_w: float = 2.0,
+    reader_frequency_hz: float = 880e6,
+    rx_gain_linear: float = 10.0 ** 0.7,
+    modulation_depth: float = 0.5,
+    reference_ohms: float = 50.0,
+) -> float:
+    """Deterministic two-way backscatter budget (volts at the reader).
+
+    The same arithmetic as
+    :meth:`repro.reader.out_of_band.OutOfBandReader.backscatter_amplitude_v`
+    with the channel realization replaced by an explicit one-way field
+    gain, so fleet generation needs no RNG for the link budget. The
+    squared dependence on ``forward_gain`` is the physics the capture
+    effect feeds on: a tag 4 cm deeper loses twice the one-way dB on the
+    uplink.
+    """
+    field_at_tag = math.sqrt(60.0 * reader_eirp_w) * forward_gain
+    eta = 376.73
+    captured_w = field_at_tag**2 / (2.0 * eta) * tag_aperture_m2
+    reradiated_w = (modulation_depth**2 / 4.0) * captured_w
+    wavelength = 299792458.0 / reader_frequency_hz
+    back_power_gain = rx_gain_linear * (
+        wavelength * forward_gain / (4.0 * math.pi)
+    ) ** 2
+    received_w = reradiated_w * back_power_gain
+    return math.sqrt(2.0 * received_w * reference_ohms)
+
+
+def generate_shard(
+    config: FleetConfig,
+    shard: int,
+    fault_plan: FaultPlan = EMPTY_PLAN,
+) -> TagSet:
+    """Realize one shard of the fleet as a :class:`TagSet`.
+
+    Per tag (in global-index order): sample its depth and array-placement
+    jitter, evaluate the Eq. 2 per-element fields and their aligned CIB
+    sum, push that through the front-end to the Eq. 1 power-up decision,
+    and run the reader's two-way budget for the uplink amplitude. Fault
+    plans enter here exactly as in the degradation campaigns: antenna
+    dropout zeroes per-element amplitudes, tag detuning scales the
+    harvested voltage (both keyed on the global tag index, so a tag's
+    faults follow it across any sharding).
+    """
+    lo, hi = shard_bounds(config, shard)
+    n = hi - lo
+    medium = media_lib.get_medium(config.medium)
+    antenna = TAG_ANTENNAS[config.tag]
+    front_end = HarvesterFrontEnd(antenna=antenna)
+    model = TagPowerModel(front_end)
+    injector = FaultInjector(fault_plan, config.seed)
+    aperture = front_end.effective_aperture_in(medium, config.frequency_hz)
+
+    epc_bits = np.empty((n, 96), dtype=int)
+    depths = np.empty(n)
+    voltages = np.empty(n)
+    amplitudes = np.empty(n)
+    powered = np.empty(n, dtype=bool)
+    mac_rngs: List[np.random.Generator] = []
+
+    for row, tag_index in enumerate(range(lo, hi)):
+        rng = _tag_rng(config, tag_index, _STREAM_PHYSICS)
+        depth = float(
+            rng.uniform(config.depth_min_m, config.depth_max_m)
+        )
+        distances = arc_array_distances(
+            config.standoff_m, config.n_antennas, rng=rng
+        )
+        epc_bits[row] = rng.integers(0, 2, size=96)
+
+        element_fields = np.array(
+            [
+                tissue_field_amplitude(
+                    config.eirp_per_antenna_w,
+                    float(r),
+                    depth,
+                    medium,
+                    config.frequency_hz,
+                )
+                for r in distances
+            ]
+        )
+        element_scale = np.ones(config.n_antennas)
+        perturbed = injector.perturb_trial(
+            tag_index,
+            np.zeros(config.n_antennas),
+            np.zeros(config.n_antennas),
+            element_scale,
+        )
+        # Aligned CIB peak: the envelope sweeps through the constructive
+        # instant once per beat period, where the field is the coherent
+        # per-element amplitude sum (surviving elements only).
+        peak_field = float(np.sum(element_fields * perturbed.amplitudes))
+        voltage = front_end.input_voltage_amplitude_v(
+            peak_field, medium, config.frequency_hz
+        )
+        voltage *= perturbed.voltage_scale
+        # One-way field gain of the strongest element, for the uplink
+        # budget (the reader mounts on the closest array element).
+        forward_gain = float(
+            np.max(
+                element_fields
+                / math.sqrt(60.0 * config.eirp_per_antenna_w)
+            )
+        )
+        depths[row] = depth
+        voltages[row] = voltage
+        powered[row] = model.powers_up_at_peak(voltage)
+        amplitudes[row] = backscatter_amplitude_v(forward_gain, aperture)
+        mac_rngs.append(_tag_rng(config, tag_index, _STREAM_MAC))
+
+    return TagSet(
+        epc_bits=epc_bits,
+        reply_amplitude_v=amplitudes,
+        powered=powered,
+        mac_rngs=mac_rngs,
+        global_indices=np.arange(lo, hi),
+        depths_m=depths,
+        input_voltage_v=voltages,
+    )

@@ -76,6 +76,38 @@ def encode_chips(
     return tuple(chips)
 
 
+def encode_chips_block(bits: np.ndarray, dummy_bit: bool = True) -> np.ndarray:
+    """FM0-encode a ``(K, B)`` block of bit rows into ``(K, C)`` chips.
+
+    Row ``k`` equals ``encode_chips(bits[k])`` exactly: the level ahead
+    of data bit ``i`` is the preamble's final chip XOR the parity of the
+    preceding one-bits (a data-1 flips the level, a data-0 restores it),
+    which turns the per-bit recursion into one cumulative sum.
+    """
+    data = np.asarray(bits, dtype=np.int64)
+    if data.ndim != 2:
+        raise ProtocolError(f"bits must be (K, B), got shape {data.shape}")
+    if np.any((data != 0) & (data != 1)):
+        raise ProtocolError("bits must be 0/1")
+    if dummy_bit:
+        data = np.concatenate(
+            [data, np.ones((data.shape[0], 1), dtype=np.int64)], axis=1
+        )
+    level_before = (
+        PREAMBLE_CHIPS[-1] + np.cumsum(data, axis=1) - data
+    ) % 2
+    first = 1 - level_before
+    second = np.where(data == 1, first, 1 - first)
+    n_pre = len(PREAMBLE_CHIPS)
+    chips = np.empty(
+        (data.shape[0], n_pre + 2 * data.shape[1]), dtype=np.int64
+    )
+    chips[:, :n_pre] = np.asarray(PREAMBLE_CHIPS, dtype=np.int64)
+    chips[:, n_pre::2] = first
+    chips[:, n_pre + 1 :: 2] = second
+    return chips
+
+
 def decode_chips(
     chips: Sequence[int],
     has_preamble: bool = True,

@@ -6,6 +6,7 @@ algorithm (grow Q on collisions, shrink on empty slots). The IVN prototype
 inherits this from the Gen2 firmware it adapts [34].
 """
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -58,7 +59,11 @@ class QAlgorithm:
     """Gen2 Annex D.2.1 floating-point Q adaptation.
 
     Qfp moves up by C on a collision, down by C on an empty slot, and is
-    rounded to pick the next round's Q.
+    rounded to pick the next round's Q. Rounding is round-half-up
+    (``floor(Qfp + 0.5)``): Python's ``round`` uses banker's rounding,
+    which maps Qfp = 2.5 to Q = 2 but 3.5 to Q = 4 -- a value-dependent
+    bias at exactly the Qfp boundaries the algorithm oscillates around.
+    Q itself is always clamped to the spec's [0, 15] range.
     """
 
     def __init__(self, initial_q: int = 4, c: float = 0.3):
@@ -71,10 +76,11 @@ class QAlgorithm:
 
     @property
     def q(self) -> int:
-        return int(round(min(15.0, max(0.0, self.q_float))))
+        clamped = min(15.0, max(0.0, self.q_float))
+        return int(min(15.0, math.floor(clamped + 0.5)))
 
     def on_slot(self, n_replies: int) -> None:
-        """Update Qfp from a slot outcome."""
+        """Update Qfp from a slot outcome (clamped into [0, 15])."""
         if n_replies == 0:
             self.q_float = max(0.0, self.q_float - self.c)
         elif n_replies > 1:

@@ -78,16 +78,26 @@ class Gen2Tag:
         self.slot_counter = 0
         self.rn16 = None
 
-    def power_down(self) -> None:
-        """Lose power: everything volatile is gone (battery-free!)."""
+    def power_down(self, deep: bool = False) -> None:
+        """Lose power: everything volatile is gone (battery-free!).
+
+        Inventoried flags follow the spec's session persistence table:
+        S0 and S1 decay immediately without power, but S2 and S3 persist
+        through a brief outage -- which is what makes time-to-inventory
+        of a power-cycling fleet well-defined when the reader inventories
+        in session 2 (a browned-out tag that already toggled its S2 flag
+        stays quiet after re-powering instead of being read twice).
+        ``deep=True`` models an extended outage that decays S2/S3 too.
+        """
         self.state = TagState.OFF
         self.slot_counter = 0
         self.rn16 = None
         self.selected = False
         self._session = None
-        # S0 inventoried flags do not persist without power; S2/S3 would
-        # persist briefly, but a deep power loss clears them too.
-        self.inventoried = {s: "A" for s in range(4)}
+        self.inventoried[0] = "A"
+        self.inventoried[1] = "A"
+        if deep:
+            self.inventoried = {s: "A" for s in range(4)}
 
     @property
     def is_powered(self) -> bool:
@@ -181,6 +191,13 @@ class Gen2Tag:
     def handle_query_adjust(self, command: QueryAdjust) -> Optional[TagReply]:
         """Adjust the stored Q and re-draw the slot counter."""
         if not self.is_powered or self._session != command.session:
+            return None
+        if self.state is TagState.ACKNOWLEDGED:
+            # Like Query and QueryRep, a QueryAdjust ends the round for an
+            # acknowledged tag: toggle the inventoried flag and drop out
+            # (Gen2 6.3.2.6.2 lists all three round-starting commands).
+            self._toggle_inventoried(command.session)
+            self.state = TagState.READY
             return None
         if self.state not in (TagState.ARBITRATE, TagState.REPLY):
             return None

@@ -17,14 +17,16 @@ without cycles. Each kernel reports its throughput via the
 ``kernels.*_samples`` observability counters.
 """
 
-from repro.kernels.ber import ber_block
-from repro.kernels.capture import capture_batch
+from repro.kernels.ber import ber_block, fm0_block_errors
+from repro.kernels.capture import capture_batch, capture_block
 from repro.kernels.hysteresis import hysteresis_mask_batch
 from repro.kernels.rectifier import rectifier_batch
 
 __all__ = [
     "ber_block",
     "capture_batch",
+    "capture_block",
+    "fm0_block_errors",
     "hysteresis_mask_batch",
     "rectifier_batch",
 ]

@@ -30,12 +30,18 @@ _PREAMBLE = np.asarray(PREAMBLE_CHIPS, dtype=int)
 _PREAMBLE_LEN = _PREAMBLE.size
 
 
-def _fm0_block_errors(
+def fm0_block_errors(
     tx_bits: np.ndarray,
     waveforms: np.ndarray,
     samples_per_chip: int,
 ) -> np.ndarray:
     """Per-word bit-error counts of a block of FM0 waveforms.
+
+    Public: the fleet collision resolver stacks one row per decode-attempt
+    slot and scores every RN16 of a round in a single call (a zero count
+    is a successful capture). Semantically identical to hard-deciding the
+    chips with :func:`repro.gen2.fm0.waveform_to_chips` and decoding with
+    :func:`repro.gen2.fm0.decode_chips` word by word.
 
     Args:
         tx_bits: Transmitted data bits, shape ``(W, n_bits)``.
@@ -131,9 +137,9 @@ def ber_block(
         averaged[index] = np.mean(clean[None, :] + period_noise, axis=0)
 
     errors["FM0"] = int(
-        np.sum(_fm0_block_errors(tx_bits, plain, samples_per_chip))
+        np.sum(fm0_block_errors(tx_bits, plain, samples_per_chip))
     )
     errors[avg_key] = int(
-        np.sum(_fm0_block_errors(tx_bits, averaged, samples_per_chip))
+        np.sum(fm0_block_errors(tx_bits, averaged, samples_per_chip))
     )
     return errors

@@ -118,3 +118,79 @@ def capture_batch(
         n_periods * n_samples
     )
     return averaged
+
+
+def capture_block(
+    chain,
+    signals: np.ndarray,
+    n_periods: int,
+    rngs,
+    agc_target: float = 0.5,
+) -> np.ndarray:
+    """Coherently averaged captures of ``A`` independent signals at once.
+
+    The multi-signal extension of :func:`capture_batch` (un-jammed path)
+    for workloads that capture many short responses per step -- the fleet
+    collision resolver stacks one row per decode-attempt slot and
+    receives a whole round in a single call. Each signal keeps its own
+    generator (per-slot decode streams are keyed on absolute slot
+    coordinates), consumed exactly as one ``capture_batch`` call would
+    consume it; every chain operation is elementwise or a per-(signal,
+    period) row reduction, so the stacked evaluation is bit-identical to
+    ``A`` separate ``capture_batch`` calls -- and therefore to the scalar
+    per-period loop those are pinned against.
+
+    Args:
+        chain: A :class:`repro.rf.receiver.ReceiveChain`-shaped object.
+        signals: Complex baseband samples, shape ``(A, T)`` (amplitudes
+            already applied).
+        n_periods: Periods to receive and average per signal.
+        rngs: Sequence of ``A`` generators, one per signal.
+        agc_target: Per-period AGC target (see ``ReceiveChain.receive``).
+
+    Returns:
+        The ``(A, T)`` per-signal means of the per-period real parts,
+        before any DC blocking.
+    """
+    if n_periods < 1:
+        raise ValueError(f"need >= 1 period, got {n_periods}")
+    signals = np.asarray(signals, dtype=complex)
+    if signals.ndim != 2 or signals.size == 0:
+        raise ValueError("signals must be non-empty (A, T)")
+    n_signals, n_samples = signals.shape
+    if len(rngs) != n_signals:
+        raise ValueError(f"need {n_signals} generators, got {len(rngs)}")
+    base = signals * chain.saw.amplitude_response(chain.tuned_frequency_hz)
+    base_i = np.ascontiguousarray(base.real)
+    base_q = np.ascontiguousarray(base.imag)
+
+    draws = np.empty((n_signals, n_periods, 2, n_samples))
+    for index, rng in enumerate(rngs):
+        draws[index] = rng.normal(size=(n_periods, 2, n_samples))
+
+    factor = chain.noise_std() / math.sqrt(2.0)
+    in_phase = base_i[:, None, :] + factor * draws[:, :, 0, :]
+    quadrature = base_q[:, None, :] + factor * draws[:, :, 1, :]
+
+    adc = getattr(chain, "adc", None)
+    if adc is not None:
+        peaks = np.maximum(
+            np.max(np.abs(in_phase), axis=2),
+            np.max(np.abs(quadrature), axis=2),
+        )
+        gains = np.ones((n_signals, n_periods))
+        if agc_target > 0:
+            scalable = peaks > 0
+            np.divide(
+                agc_target * adc.full_scale, peaks,
+                out=gains, where=scalable,
+            )
+        column = gains[:, :, None]
+        # Same two-rounding complex-division emulation as capture_batch.
+        in_phase = adc.quantize_real(in_phase * column) * (1.0 / column)
+
+    averaged = np.mean(in_phase, axis=1)
+    current_obs().metrics.counter("kernels.capture_samples").inc(
+        n_signals * n_periods * n_samples
+    )
+    return averaged

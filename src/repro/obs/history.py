@@ -52,6 +52,7 @@ RATE_KEYS = (
     "search_candidates_per_s",
     "kernel_samples_per_s",
     "plans_per_s",
+    "fleet_tags_per_s",
 )
 """Per-row throughput metrics the sentinel checks lower-is-worse."""
 

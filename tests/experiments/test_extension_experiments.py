@@ -108,3 +108,23 @@ class TestAirtimeModel:
         model = inventory_throughput.AirtimeModel(blf_hz=40e3)
         assert model.uplink_s(128) > model.uplink_s(16)
         assert model.uplink_s(16) == pytest.approx((6 + 16 + 1) / 40e3)
+
+
+class TestThroughputFleetPort:
+    """The throughput experiment now runs on the fleet resolver; its
+    rows must stay bit-identical to the legacy InventoryRound loop."""
+
+    def test_port_matches_legacy_rows(self):
+        config = inventory_throughput.ThroughputConfig(
+            populations=(1, 4, 16)
+        )
+        ported = inventory_throughput.run(config)
+        legacy = inventory_throughput.run_reference(config)
+        assert ported.rows == legacy.rows
+
+    def test_port_matches_legacy_default_grid(self):
+        config = inventory_throughput.ThroughputConfig()
+        assert (
+            inventory_throughput.run(config).rows
+            == inventory_throughput.run_reference(config).rows
+        )

@@ -1,0 +1,102 @@
+"""Tests for repro.fleet.campaign."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.campaign import (
+    FLEET_SCHEMA_VERSION,
+    FleetCampaignConfig,
+    run_fleet_campaign,
+    validate_fleet_dict,
+)
+
+FAST = FleetCampaignConfig.fast()
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_fleet_campaign(FAST, workers=1)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_workers_do_not_change_tables(self, baseline, workers):
+        result = run_fleet_campaign(FAST, workers=workers)
+        assert result.to_json_dict() == baseline.to_json_dict()
+
+    def test_chunk_size_does_not_change_tables(self, baseline):
+        result = run_fleet_campaign(FAST, workers=2, chunk_size=1)
+        assert result.to_json_dict() == baseline.to_json_dict()
+
+    def test_rerun_is_bitwise_identical(self, baseline):
+        assert (
+            run_fleet_campaign(FAST, workers=1).to_json_dict()
+            == baseline.to_json_dict()
+        )
+
+
+class TestTableShape:
+    def test_one_row_per_cell(self, baseline):
+        assert len(baseline.rows) == len(FAST.cells())
+
+    def test_rows_follow_cell_order(self, baseline):
+        populations = [row["population"] for row in baseline.rows]
+        assert populations == [cell[0] for cell in FAST.cells()]
+
+    def test_reads_bounded_by_powered(self, baseline):
+        for row in baseline.rows:
+            assert 0 <= row["reads"] <= row["n_powered"] <= row["population"]
+
+    def test_render_mentions_capture(self, baseline):
+        assert "capture" in baseline.table().render().lower()
+
+
+class TestSchema:
+    def test_payload_validates(self, baseline):
+        validate_fleet_dict(baseline.to_json_dict())
+
+    def test_schema_version_pinned(self, baseline):
+        assert baseline.to_json_dict()["schema_version"] == FLEET_SCHEMA_VERSION
+
+    def test_rejects_wrong_version(self, baseline):
+        payload = baseline.to_json_dict()
+        payload["schema_version"] = FLEET_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            validate_fleet_dict(payload)
+
+    def test_rejects_missing_row_key(self, baseline):
+        payload = baseline.to_json_dict()
+        del payload["rows"][0]["captures"]
+        with pytest.raises(ValueError):
+            validate_fleet_dict(payload)
+
+    def test_rejects_bad_fraction(self, baseline):
+        payload = baseline.to_json_dict()
+        payload["rows"][0]["missed_fraction"] = 1.5
+        with pytest.raises(ValueError):
+            validate_fleet_dict(payload)
+
+    def test_rejects_reads_above_population(self, baseline):
+        payload = baseline.to_json_dict()
+        payload["rows"][0]["reads"] = payload["rows"][0]["population"] + 1
+        with pytest.raises(ValueError):
+            validate_fleet_dict(payload)
+
+    def test_rejects_empty_rows(self, baseline):
+        payload = baseline.to_json_dict()
+        payload["rows"] = []
+        with pytest.raises(ValueError):
+            validate_fleet_dict(payload)
+
+
+class TestConfigValidation:
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ConfigurationError):
+            FleetCampaignConfig(populations=())
+        with pytest.raises(ConfigurationError):
+            FleetCampaignConfig(depth_bands=())
+
+    def test_shards_clamped_to_population(self):
+        config = FleetCampaignConfig(n_shards=8)
+        fleet = config.fleet_config(3, (0.02, 0.06), 10)
+        assert fleet.n_shards == 3

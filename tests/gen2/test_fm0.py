@@ -113,3 +113,29 @@ class TestWaveform:
     def test_short_waveform_raises(self):
         with pytest.raises(DecodingError):
             waveform_to_chips(np.ones(3), 5)
+
+
+class TestEncodeBlock:
+    def test_matches_scalar_encoder_row_for_row(self, rng):
+        from repro.gen2.fm0 import encode_chips_block
+
+        bits = rng.integers(0, 2, size=(50, 16))
+        block = encode_chips_block(bits)
+        for row, encoded in zip(bits, block):
+            assert tuple(encoded) == encode_chips(tuple(row))
+
+    def test_without_dummy_bit(self, rng):
+        from repro.gen2.fm0 import encode_chips_block
+
+        bits = rng.integers(0, 2, size=(20, 8))
+        block = encode_chips_block(bits, dummy_bit=False)
+        for row, encoded in zip(bits, block):
+            assert tuple(encoded) == encode_chips(tuple(row), dummy_bit=False)
+
+    def test_rejects_non_bits_and_wrong_rank(self):
+        from repro.gen2.fm0 import encode_chips_block
+
+        with pytest.raises(ProtocolError):
+            encode_chips_block(np.array([[0, 2, 1]]))
+        with pytest.raises(ProtocolError):
+            encode_chips_block(np.array([0, 1, 1]))

@@ -101,3 +101,42 @@ class TestInventoryUntilQuiet:
         epcs, rounds = inventory_until_quiet(tags, rng, initial_q=0)
         assert len(epcs) == 1
         assert rounds <= 3
+
+
+class TestQAlgorithmRounding:
+    """Annex D.2.1 regression pins: clamping and round-half-up."""
+
+    def test_round_half_up_not_bankers(self):
+        # Python's round() maps 2.5 -> 2 (banker's); the spec's
+        # floor(Qfp + 0.5) maps it to 3.
+        algorithm = QAlgorithm(initial_q=2, c=0.5)
+        algorithm.on_slot(3)  # Qfp = 2.5
+        assert algorithm.q_float == 2.5
+        assert algorithm.q == 3
+
+    def test_round_half_up_above_bankers_agreement(self):
+        algorithm = QAlgorithm(initial_q=3, c=0.5)
+        algorithm.on_slot(3)  # Qfp = 3.5; banker's and half-up agree here
+        assert algorithm.q == 4
+
+    def test_qfp_clamped_at_ceiling(self):
+        algorithm = QAlgorithm(initial_q=15, c=0.5)
+        for _ in range(10):
+            algorithm.on_slot(3)
+        assert algorithm.q_float == 15.0
+        assert algorithm.q == 15
+
+    def test_qfp_clamped_at_floor(self):
+        algorithm = QAlgorithm(initial_q=0, c=0.5)
+        for _ in range(10):
+            algorithm.on_slot(0)
+        assert algorithm.q_float == 0.0
+        assert algorithm.q == 0
+
+    def test_q_never_leaves_spec_range(self):
+        algorithm = QAlgorithm(initial_q=8, c=0.3)
+        rng = np.random.default_rng(11)
+        for n_replies in rng.integers(0, 4, 500):
+            algorithm.on_slot(int(n_replies))
+            assert 0 <= algorithm.q <= 15
+            assert 0.0 <= algorithm.q_float <= 15.0

@@ -154,3 +154,66 @@ class TestValidation:
     def test_epc_bits_only(self):
         with pytest.raises(ConfigurationError):
             Gen2Tag(tuple([2] * 16), np.random.default_rng(0))
+
+
+def acknowledge(tag, session=0):
+    """Drive a powered tag to ACKNOWLEDGED in the given session."""
+    reply = tag.handle_query(Query(q=0, session=session))
+    assert reply is not None and reply.kind == "rn16"
+    epc = tag.handle_ack(Ack(rn16=reply.bits))
+    assert epc is not None and epc.kind == "epc"
+    assert tag.state is TagState.ACKNOWLEDGED
+
+
+class TestSessionPersistence:
+    """Gen2 session persistence table: S0/S1 decay without power, S2/S3
+    survive a brief outage, and only an extended outage clears them."""
+
+    def test_s2_flag_survives_power_cycle(self):
+        tag = make_tag()
+        tag.power_up()
+        acknowledge(tag, session=2)
+        tag.handle_query_rep(QueryRep(session=2))  # toggles S2 to B
+        assert tag.inventoried[2] == "B"
+        tag.power_down()
+        tag.power_up()
+        assert tag.inventoried[2] == "B"
+        # Still inventoried: a target-A query in session 2 gets silence.
+        assert tag.handle_query(Query(q=0, session=2)) is None
+
+    def test_s0_s1_flags_decay_on_power_down(self):
+        for session in (0, 1):
+            tag = make_tag(seed=3 + session)
+            tag.power_up()
+            acknowledge(tag, session=session)
+            tag.handle_query_rep(QueryRep(session=session))
+            assert tag.inventoried[session] == "B"
+            tag.power_down()
+            assert tag.inventoried[session] == "A"
+
+    def test_deep_power_down_clears_s2_s3(self):
+        tag = make_tag()
+        tag.power_up()
+        acknowledge(tag, session=3)
+        tag.handle_query_rep(QueryRep(session=3))
+        assert tag.inventoried[3] == "B"
+        tag.power_down(deep=True)
+        assert tag.inventoried == {s: "A" for s in range(4)}
+
+    def test_acknowledged_tag_quiet_in_next_round(self):
+        tag = make_tag()
+        tag.power_up()
+        acknowledge(tag, session=2)
+        # The next round-starting Query toggles the flag first, so the
+        # tag no longer matches target A and stays quiet.
+        assert tag.handle_query(Query(q=0, session=2)) is None
+        assert tag.inventoried[2] == "B"
+        assert tag.state is TagState.READY
+
+    def test_query_adjust_ends_round_for_acknowledged_tag(self):
+        tag = make_tag()
+        tag.power_up()
+        acknowledge(tag, session=2)
+        assert tag.handle_query_adjust(QueryAdjust(session=2)) is None
+        assert tag.inventoried[2] == "B"
+        assert tag.state is TagState.READY

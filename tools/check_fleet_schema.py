@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Sanity-check a fleet-tables JSON written by the experiments CLI.
+
+Usage::
+
+    python tools/check_fleet_schema.py TABLES.json
+
+Validates the ``--tables-out`` payload of the ``fleet`` experiment: the
+payload carries an ``experiments.fleet`` entry, the entry passes
+``repro.fleet.campaign.validate_fleet_dict``, and every configured
+(population, depth band, array size) cell produced exactly one row.
+Exits non-zero with each problem printed, so CI's fleet smoke fails on
+schema drift instead of shipping a stale table.
+
+Needs ``src`` on ``PYTHONPATH`` (or the package installed); the script
+adds the repository's ``src`` directory itself when run from a checkout.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+if _REPO_SRC.is_dir() and str(_REPO_SRC) not in sys.path:
+    sys.path.insert(0, str(_REPO_SRC))
+
+from repro.fleet.campaign import validate_fleet_dict  # noqa: E402
+
+
+def check_payload(payload: dict) -> list:
+    """Problems found in a ``--tables-out`` payload."""
+    experiments = payload.get("experiments")
+    if not isinstance(experiments, dict) or "fleet" not in experiments:
+        return ["payload has no experiments.fleet entry"]
+    fleet = experiments["fleet"]
+    try:
+        validate_fleet_dict(fleet)
+    except ValueError as exc:
+        return [str(exc)]
+    config = fleet["config"]
+    expected = (
+        len(config["populations"])
+        * len(config["depth_bands"])
+        * len(config["array_sizes"])
+    )
+    rows = fleet["rows"]
+    if len(rows) != expected:
+        return [
+            f"expected {expected} cell rows "
+            f"(populations x depth bands x array sizes), got {len(rows)}"
+        ]
+    return []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("tables", type=Path, help="--tables-out JSON file")
+    args = parser.parse_args(argv)
+
+    try:
+        payload = json.loads(args.tables.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"unreadable tables file: {exc}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for problem in check_payload(payload):
+        print(f"fleet: {problem}", file=sys.stderr)
+        failures += 1
+    if failures:
+        print(f"{failures} schema problem(s) found", file=sys.stderr)
+        return 1
+    print("fleet tables OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
