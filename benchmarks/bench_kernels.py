@@ -3,8 +3,9 @@
 This PR's acceptance gate, executable: the batched rectifier, hysteresis,
 and capture kernels must each be at least 5x faster than looping the
 pinned scalar implementations over the same work, while staying
-bit-identical to them. The BER block decoder is reported informationally
-(its wall clock is dominated by the shared Miller trellis).
+bit-identical to them. The BER block decoder's wall clock is dominated
+by the shared Miller trellis, so its floor is lower: the block kernel
+must simply beat the per-word chunk (>= 1.05x, best-of-3 both sides).
 """
 
 import time
@@ -174,27 +175,31 @@ def test_ber_block_parity_and_throughput(benchmark, emit):
         averaging_periods=10,
     )
 
+    ber_block(0, BER_WORDS, **kwargs)  # warm (FM0/Miller template caches)
+
     def timed_comparison():
         reference, t_scalar = _best_of(
-            lambda: ber._word_errors_chunk(0, BER_WORDS, **kwargs), repeats=1
+            lambda: ber._word_errors_chunk(0, BER_WORDS, **kwargs), repeats=3
         )
         kernel, t_kernel = _best_of(
-            lambda: ber_block(0, BER_WORDS, **kwargs), repeats=1
+            lambda: ber_block(0, BER_WORDS, **kwargs), repeats=3
         )
         return reference, kernel, t_scalar, t_kernel
 
     reference, kernel, t_scalar, t_kernel = run_once(
         benchmark, timed_comparison
     )
+    speedup = t_scalar / t_kernel
 
     table = Table(
-        title=f"Kernel -- BER block decode ({BER_WORDS} words, informational)",
-        headers=("path", "wall (s)"),
+        title=f"Kernel -- BER block decode ({BER_WORDS} words)",
+        headers=("path", "wall (s)", "speedup"),
     )
-    table.add_row("per-word chunk", t_scalar)
-    table.add_row("ber_block", t_kernel)
+    table.add_row("per-word chunk", t_scalar, 1.0)
+    table.add_row("ber_block", t_kernel, speedup)
     emit(table)
 
-    # Parity is the gate; the wall clock is dominated by the shared
-    # per-word Miller trellis, so no speedup floor here.
     assert kernel == reference
+    # The shared per-word Miller trellis caps the win, but the batched
+    # FM0 decode must still leave the kernel strictly ahead.
+    assert speedup >= 1.05, f"ber_block only {speedup:.2f}x faster"
